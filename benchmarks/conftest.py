@@ -1,0 +1,45 @@
+"""Shared helpers for the figure-regeneration benches.
+
+Every bench runs one experiment through pytest-benchmark (a single
+round — these are simulation campaigns, not microbenchmarks), prints the
+regenerated table, records it under ``benchmarks/results/`` and returns
+the :class:`~repro.experiments.base.ExperimentResult` so the test body
+can assert the paper's shape claims.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import run_experiment_by_id
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Benches default to the 'default' scale; set REPRO_BENCH_SCALE=quick for
+#: a fast smoke pass or =full for longer runs.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Run one experiment under pytest-benchmark and persist its table."""
+
+    def run(exp_id: str):
+        result = benchmark.pedantic(
+            run_experiment_by_id,
+            args=(exp_id,),
+            kwargs={"scale": SCALE},
+            rounds=1,
+            iterations=1,
+        )
+        rendered = result.render()
+        print()
+        print(rendered)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{exp_id}.txt").write_text(rendered + "\n")
+        return result
+
+    return run

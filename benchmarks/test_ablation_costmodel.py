@@ -1,0 +1,13 @@
+"""Bench: sensitivity of the SAIs advantage to M/P and NIC bandwidth.
+
+Paper (Sec. VI): SAIs' effectiveness "depends on the assumption that the
+underlying system is I/O intensive and that the system has plenty of
+network bandwidth" — and the whole analysis rests on M >> P.  Shrinking
+either must shrink the win.
+"""
+
+
+def test_ablation_costmodel(figure):
+    result = figure("ablation_costmodel")
+    assert result.measured["advantage_needs_m_much_greater_p"] == 1.0
+    assert result.measured["advantage_needs_bandwidth"] == 1.0

@@ -1,0 +1,16 @@
+"""Bench: the four Sec. III scheduling policies head to head.
+
+Paper: policy (ii) ["current process core"] should be nearly identical to
+policy (i) ["request core"] because processes rarely migrate during a
+blocking I/O; both source-aware policies beat the conventional ones.
+"""
+
+
+def test_ablation_policies(figure):
+    result = figure("ablation_policies")
+
+    # Policies (i) and (ii) within a couple of percent of each other.
+    assert result.measured["policy_i_vs_ii_gap_pct_max"] <= 2.0
+
+    # Source-aware beats every conventional policy.
+    assert result.measured["source_aware_beats_conventional"] == 1.0

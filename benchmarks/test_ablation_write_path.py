@@ -1,0 +1,14 @@
+"""Bench: parallel-I/O writes — interrupt scheduling must not matter.
+
+Paper (Sec. I): "there is not a data locality issue associated with
+interrupt scheduling in parallel I/O write operations"; this run verifies
+the claim that motivated scoping the whole study to reads.
+"""
+
+
+def test_ablation_write_path(figure):
+    result = figure("ablation_write_path")
+    # Policies tie to well under a percent on writes.
+    assert result.measured["write_speedup_pct"] <= 1.0
+    # And no data strips ever migrated between caches.
+    assert all(int(row[4]) == 0 for row in result.rows)

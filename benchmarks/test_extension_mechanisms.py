@@ -1,0 +1,17 @@
+"""Benches: SAIs vs real receive/workload mechanisms (NAPI, collective I/O)."""
+
+
+def test_extension_napi(figure):
+    result = figure("extension_napi")
+    assert result.measured["win_survives_napi"] == 1.0
+    # NAPI may shave a few points but not flip or erase the result.
+    assert (
+        result.measured["speedup_with_napi_pct"]
+        > 0.4 * result.measured["speedup_without_napi_pct"]
+    )
+
+
+def test_extension_collective(figure):
+    result = figure("extension_collective")
+    assert result.measured["collective_costs_bandwidth"] == 1.0
+    assert result.measured["win_survives_collective"] == 1.0

@@ -1,0 +1,17 @@
+"""Bench: the source-aware win across hardware generations.
+
+Extension of the paper's conclusion: NIC bandwidth grew 25-100x since
+2008 while per-line coherence latency improved ~3x, so the serialized
+migration path dominates harder and the source-aware win must grow.
+"""
+
+
+def test_extension_modern_hw(figure):
+    result = figure("extension_modern_hw")
+    assert result.measured["win_grows_with_network_speed"] == 1.0
+    # Paper-era point reproduces the Fig. 5 magnitude...
+    assert 10 <= result.measured["paper_era_speedup_pct"] <= 35
+    # ...and the modern point dwarfs it.
+    assert result.measured["modern_25g_speedup_pct"] > 2 * (
+        result.measured["paper_era_speedup_pct"]
+    )

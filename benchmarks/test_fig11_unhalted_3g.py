@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 11 — CPU_CLK_UNHALTED, 3-Gigabit NIC.
+
+Paper: maximum 48.57% reduction — SAIs removes the stall cycles the
+application core spends waiting on data that missed in its cache.
+"""
+
+
+def test_fig11_unhalted_3g(figure):
+    result = figure("fig11_unhalted_3g")
+    assert 35 <= result.measured["max_reduction_pct"] <= 60
+    assert result.measured["mean_reduction_pct"] > 25

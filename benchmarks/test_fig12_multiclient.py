@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 12 — multi-client scalability, 8 I/O servers.
+
+Paper: the aggregate speed-up peaks at 20.46% (8 clients), then decays
+as the servers saturate and the per-client request rate NR collapses —
+down to 1.39% at 56 clients — while never going meaningfully negative.
+"""
+
+
+def test_fig12_multiclient(figure):
+    result = figure("fig12_multiclient")
+
+    # Peak in the paper's band, at or before the saturation knee.
+    assert 10 <= result.measured["peak_speedup_pct"] <= 30
+    assert result.measured["peak_at_clients"] <= 8
+
+    # Decay: the most-saturated points show only a residual win.
+    assert -1.0 <= result.measured["min_speedup_pct"] <= 5.0
+
+    # Aggregate bandwidth grows monotonically-ish toward saturation.
+    bandwidths = [float(row[2]) for row in result.rows]
+    assert bandwidths[-1] > bandwidths[0]

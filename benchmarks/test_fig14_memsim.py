@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 14 — the memory simulation sweep.
+
+Paper: Si-SAIs peaks at 3576.58 MB/s with a 53.23% speed-up and a 51.37%
+L2 miss-rate reduction; both schemes converge to ~2500 MB/s once
+applications saturate the cores.
+"""
+
+from repro.units import MiB
+
+
+def test_fig14_memsim(figure):
+    result = figure("fig14_memsim")
+
+    assert 3000 <= result.measured["peak_sais_mbs"] <= 4200
+    assert 40 <= result.measured["peak_speedup_pct"] <= 65
+    assert 40 <= result.measured["miss_reduction_at_peak_pct"] <= 60
+    assert 1900 <= result.measured["converged_mbs"] <= 3000
+
+    # The speed-up decays toward zero at the right edge of the sweep.
+    last_speedup = float(result.rows[-1][3].rstrip("%").lstrip("+"))
+    assert last_speedup < 10

@@ -1,0 +1,23 @@
+"""Bench: regenerate Fig. 5 — IOR bandwidth + speed-up, 3-Gigabit NIC.
+
+Paper: SAIs improves bandwidth in all (non-server-bound) cases; speed-up
+grows with the number of I/O servers to a maximum of 23.57% at 48 nodes;
+absolute bandwidth never exceeds 3 Gigabit/s.
+"""
+
+
+def test_fig5_bandwidth_3g(figure):
+    result = figure("fig5_bandwidth_3g")
+
+    # Shape 1: the peak speed-up lands in the paper's band.
+    assert 10 <= result.measured["max_speedup_pct"] <= 35
+
+    # Shape 2: bandwidth never exceeds the 3-Gigabit line.
+    assert result.measured["bandwidth_below_gbit"] < 3.0
+
+    # Shape 3: the speed-up at the largest server count is close to the
+    # grid-wide maximum (the win grows with servers).
+    assert (
+        result.measured["speedup_at_most_servers_pct"]
+        >= 0.7 * result.measured["max_speedup_pct"]
+    )

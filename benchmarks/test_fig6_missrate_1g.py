@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 6 — L2 miss rate, 1-Gigabit NIC.
+
+Paper: SAIs' L2 miss rate is below irqbalance's at every grid point.
+"""
+
+
+def test_fig6_missrate_1g(figure):
+    result = figure("fig6_missrate_1g")
+    assert result.measured["sais_always_lower"] == 1.0
+    assert 25 <= result.measured["max_reduction_pct"] <= 65

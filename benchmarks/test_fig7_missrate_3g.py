@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 7 — L2 miss rate, 3-Gigabit NIC.
+
+Paper: rates rise with network bandwidth, and SAIs cuts the miss rate by
+almost 40%.
+"""
+
+from repro.experiments import run_experiment_by_id
+
+
+def test_fig7_missrate_3g(figure):
+    result = figure("fig7_missrate_3g")
+    assert result.measured["sais_always_lower"] == 1.0
+    # Paper: "the L2 miss rate is reduced almost 40% by SAIs".
+    assert 30 <= result.measured["max_reduction_pct"] <= 65
+
+
+def test_missrate_rises_with_bandwidth(benchmark):
+    """Fig. 7 vs Fig. 6: more NIC bandwidth -> no lower absolute miss rates."""
+
+    def both():
+        return (
+            run_experiment_by_id("fig6_missrate_1g", scale="quick"),
+            run_experiment_by_id("fig7_missrate_3g", scale="quick"),
+        )
+
+    one_g, three_g = benchmark.pedantic(both, rounds=1, iterations=1)
+
+    def mean_baseline_rate(result):
+        rates = [float(row[2].rstrip("%")) for row in result.rows]
+        return sum(rates) / len(rates)
+
+    assert mean_baseline_rate(three_g) >= mean_baseline_rate(one_g) * 0.95

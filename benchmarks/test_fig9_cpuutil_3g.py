@@ -1,0 +1,13 @@
+"""Bench: regenerate Fig. 9 — CPU utilization, 3-Gigabit NIC.
+
+Paper: irqbalance employs more CPU cycles on data movement than SAIs at
+every point, and utilization scales roughly linearly with NIC speed.
+"""
+
+
+def test_fig9_cpuutil_3g(figure):
+    result = figure("fig9_cpuutil_3g")
+    assert result.measured["irqbalance_higher_everywhere"] == 1.0
+    # "a possible linear relation between CPU capacity and network speed":
+    # 3x the NIC should give utilization in the 1.5x-4x range of 1 Gb.
+    assert 1.5 <= result.measured["util_ratio_3g_over_1g"] <= 4.0

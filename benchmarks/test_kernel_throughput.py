@@ -1,0 +1,62 @@
+"""Microbenchmarks of the DES kernel itself.
+
+Everything in this reproduction runs on the event kernel, so its raw
+event throughput bounds how big a campaign is practical.  These are true
+microbenchmarks (multiple rounds), unlike the single-shot figure benches.
+"""
+
+from repro.des import Environment, Resource
+
+
+def test_timeout_throughput(benchmark):
+    """Schedule-and-fire rate for bare timeouts."""
+
+    def run():
+        env = Environment()
+        for i in range(10_000):
+            env.timeout(float(i % 97))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 96.0
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator suspend/resume rate through the scheduler."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env, steps):
+            for _ in range(steps):
+                yield env.timeout(1.0)
+
+        for _ in range(10):
+            env.process(ticker(env, 500))
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 500.0
+
+
+def test_contended_resource_throughput(benchmark):
+    """Request/grant/release cycling on a contended resource."""
+
+    def run():
+        env = Environment()
+        resource = Resource(env, capacity=2)
+
+        def worker(env):
+            for _ in range(100):
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(0.001)
+
+        for _ in range(20):
+            env.process(worker(env))
+        env.run()
+        return resource.in_use
+
+    assert benchmark(run) == 0

@@ -1,0 +1,20 @@
+"""Bench: Sec. III analytic bounds (eqs. 3-9) and the simulator cross-check.
+
+Paper: T_balanced - TR >> T_source-aware - TR whenever M >> P, the gap
+grows with NS/NR/(M-P), and the simulator's measured ordering agrees.
+"""
+
+
+def test_sec3_analysis(figure):
+    result = figure("sec3_model")
+
+    assert result.measured["m_over_p_much_greater_1"] == 1.0
+    assert result.measured["m_over_p"] > 3.0
+    assert result.measured["gap_grows_with_servers"] == 1.0
+
+    # Simulator cross-check: measured speed-up ordered like the analytic
+    # gap (48 servers >= 16 servers), and both positive.
+    assert result.measured["sim_speedup_48_pct"] >= (
+        result.measured["sim_speedup_16_pct"] - 2.0
+    )
+    assert result.measured["sim_speedup_16_pct"] > 5.0

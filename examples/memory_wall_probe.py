@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Memory-wall probe: the Section VI experiment as an interactive sweep.
+
+Removes the NIC from the picture entirely (RAM-disk "servers") and asks:
+how much parallel-I/O bandwidth can this client sustain, and how much of
+it does source-unaware data placement burn?  Prints the Si-SAIs vs
+Si-Irqbalance curves and the memory-bus occupancy that explains them.
+
+Run:  python examples/memory_wall_probe.py
+"""
+
+from repro.memsim import MemsimConfig, sweep_applications
+from repro.metrics import render_table
+from repro.units import MiB
+
+
+def main() -> None:
+    config = MemsimConfig(per_app_bytes=16 * MiB)
+    counts = (1, 2, 3, 4, 6, 8, 12, 16)
+    results = sweep_applications(counts, config)
+
+    rows = []
+    for sais, irq in zip(results["si_sais"], results["si_irqbalance"]):
+        rows.append(
+            (
+                sais.n_apps,
+                f"{irq.bandwidth / MiB:.0f}",
+                f"{sais.bandwidth / MiB:.0f}",
+                f"{sais.bandwidth / irq.bandwidth - 1:+.1%}",
+                f"{sais.cpu_utilization:.0%}/{irq.cpu_utilization:.0%}",
+                f"{sais.membus_busy_fraction:.0%}/{irq.membus_busy_fraction:.0%}",
+            )
+        )
+
+    print(
+        render_table(
+            (
+                "apps",
+                "Si-Irqbalance MB/s",
+                "Si-SAIs MB/s",
+                "speed-up",
+                "CPU util (sais/irq)",
+                "membus busy (sais/irq)",
+            ),
+            rows,
+            title=(
+                "Memory-backed parallel I/O on the 8-core head node "
+                f"(DDR2 peak {config.memory_bandwidth / MiB:.0f} MB/s)"
+            ),
+        )
+    )
+    print()
+    peak = max(results["si_sais"], key=lambda m: m.bandwidth)
+    print(
+        f"Si-SAIs peak: {peak.bandwidth / MiB:.0f} MB/s "
+        f"({peak.bandwidth * 8 / 1e9:.2f} Gigabit/s) at {peak.n_apps} apps — "
+        "the client could absorb an order of magnitude more network "
+        "bandwidth than its 3-Gigabit NIC delivers, which is why the "
+        "wire experiments understate the source-aware win."
+    )
+
+
+if __name__ == "__main__":
+    main()

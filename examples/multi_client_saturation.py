@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Multi-client saturation study (the Fig. 12 scenario, interactive).
+
+Fixes the PVFS tier at 8 page-cache-hot servers and grows the number of
+client nodes, printing aggregate bandwidth under both policies.  Shows
+the three regimes the paper's eq. (5)-(7) predict:
+
+1. client-bound — each client's interrupt path limits it; SAIs wins big;
+2. the saturation knee — the server uplinks fill; the win peaks;
+3. server-bound — per-client request rate NR collapses, and with it the
+   SAIs advantage.
+
+Run:  python examples/multi_client_saturation.py
+"""
+
+from repro import ClientConfig, ClusterConfig, ServerConfig, WorkloadConfig
+from repro.cluster import compare_policies
+from repro.metrics import render_table
+from repro.units import Gbit, MiB
+
+
+def main() -> None:
+    server = ServerConfig(cache_hit_ratio=0.98, nic_bandwidth=3 * Gbit)
+    rows = []
+    for n_clients in (2, 4, 8, 16, 32):
+        config = ClusterConfig(
+            n_servers=8,
+            n_clients=n_clients,
+            client=ClientConfig(nic_ports=3),
+            server=server,
+            workload=WorkloadConfig(
+                n_processes=4, transfer_size=1 * MiB, file_size=4 * MiB
+            ),
+        )
+        result = compare_policies(config)
+        per_client = result.treatment.bandwidth / n_clients / MiB
+        rows.append(
+            (
+                n_clients,
+                f"{result.baseline.bandwidth / MiB:.0f}",
+                f"{result.treatment.bandwidth / MiB:.0f}",
+                f"{per_client:.0f}",
+                f"{result.bandwidth_speedup:+.2%}",
+            )
+        )
+
+    print(
+        render_table(
+            (
+                "clients",
+                "irqbalance aggregate MB/s",
+                "SAIs aggregate MB/s",
+                "SAIs per-client MB/s",
+                "speed-up",
+            ),
+            rows,
+            title="Aggregate bandwidth vs client count (8 cache-hot servers)",
+        )
+    )
+    print()
+    print(
+        "Once per-client bandwidth collapses, strips arrive too slowly to "
+        "queue behind one another and conventional scheduling stops "
+        "hurting — exactly why the paper's Fig. 12 speed-up decays toward "
+        "1.39% at 56 clients."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Policy explorer: all six interrupt-scheduling policies side by side.
+
+Runs the same IOR workload under every registered policy — the paper's
+Sec. III taxonomy: (i) request core [SAIs], (ii) current process core,
+(iii) least-loaded, (iv) dedicated, plus round-robin and the irqbalance
+baseline — and shows how interrupt placement drives data locality.
+
+Run:  python examples/policy_explorer.py
+"""
+
+from repro import (
+    ClientConfig,
+    ClusterConfig,
+    WorkloadConfig,
+    available_policies,
+)
+from repro.cluster.builder import build_cluster
+from repro.des import AllOf
+from repro.metrics import core_heatmap, render_table
+from repro.metrics.collectors import collect_client_metrics
+from repro.metrics.sar import SarSampler
+from repro.units import MiB
+from repro.workloads import spawn_ior_processes
+
+
+def run_sampled(config):
+    """Run one policy with a sar sampler attached; returns metrics + strips."""
+    cluster = build_cluster(config)
+    client = cluster.clients[0]
+    sampler = SarSampler(cluster.env, client.cores, interval=10e-3)
+    procs = spawn_ior_processes(client, config.workload)
+    cluster.env.run(until=AllOf(cluster.env, procs))
+    bytes_read = sum(int(p.value) for p in procs)
+    metrics = collect_client_metrics(client, cluster.env.now, bytes_read)
+    per_core = list(
+        zip(*(sample.per_core for sample in sampler.samples))
+    )
+    return metrics, per_core
+
+
+def main() -> None:
+    config = ClusterConfig(
+        n_servers=32,
+        client=ClientConfig(nic_ports=3),
+        workload=WorkloadConfig(
+            n_processes=8, transfer_size=1 * MiB, file_size=8 * MiB
+        ),
+    )
+
+    rows = []
+    heatmaps = {}
+    baseline_bw = None
+    for policy in available_policies():
+        metrics, per_core = run_sampled(config.with_policy(policy))
+        client = metrics
+        if policy == "irqbalance":
+            baseline_bw = metrics.bandwidth
+        if policy in ("irqbalance", "source_aware", "dedicated"):
+            heatmaps[policy] = per_core
+        rows.append(
+            (
+                policy,
+                f"{metrics.bandwidth / MiB:.1f}",
+                f"{metrics.l2_miss_rate:.2%}",
+                f"{client.consume_locations['local']}",
+                f"{client.consume_locations['remote']}",
+                f"{client.consume_locations['memory']}",
+                f"{client.interrupt_spread:.0%}",
+            )
+        )
+
+    print(
+        render_table(
+            (
+                "policy",
+                "MB/s",
+                "L2 miss",
+                "local",
+                "remote",
+                "evicted",
+                "cores hit",
+            ),
+            rows,
+            title="Where each policy leaves the data (32 servers, 3-Gigabit NIC)",
+        )
+    )
+    assert baseline_bw is not None
+    print()
+    print(
+        "The 'local' column is the whole story: source-aware policies "
+        "deliver every strip to the consuming core's cache; the balanced "
+        "policies leave almost everything remote and pay a serialized "
+        "cache-to-cache migration per strip."
+    )
+    print()
+    print("Per-core load over time (10 ms sar intervals, dark = busy):")
+    for policy, per_core in heatmaps.items():
+        print()
+        print(f"[{policy}]")
+        print(core_heatmap([series[:72] for series in per_core]))
+
+
+if __name__ == "__main__":
+    main()

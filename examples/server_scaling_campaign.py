@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Server-scaling campaign: how the SAIs advantage grows with PVFS size.
+
+Reproduces the Fig. 5 story interactively: sweep the number of I/O server
+nodes at a fixed transfer size and watch (a) absolute bandwidth climb
+toward the NIC ceiling and (b) the SAIs speed-up grow as the conventional
+scheduler's serialized strip migrations become the client-side bottleneck.
+
+Run:  python examples/server_scaling_campaign.py [--nic-gigabits 3]
+"""
+
+import argparse
+
+from repro import ClientConfig, ClusterConfig, WorkloadConfig, compare_policies
+from repro.metrics import render_table
+from repro.units import MiB, bits_per_sec
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nic-gigabits", type=int, default=3, choices=(1, 3))
+    parser.add_argument("--transfer-mib", type=int, default=1)
+    parser.add_argument("--processes", type=int, default=8)
+    args = parser.parse_args()
+
+    rows = []
+    for n_servers in (8, 16, 32, 48, 64):
+        config = ClusterConfig(
+            n_servers=n_servers,
+            client=ClientConfig(nic_ports=args.nic_gigabits),
+            workload=WorkloadConfig(
+                n_processes=args.processes,
+                transfer_size=args.transfer_mib * MiB,
+                file_size=max(8 * MiB, 4 * args.transfer_mib * MiB),
+            ),
+        )
+        result = compare_policies(config)
+        rows.append(
+            (
+                n_servers,
+                f"{result.baseline.bandwidth / MiB:.1f}",
+                f"{result.treatment.bandwidth / MiB:.1f}",
+                f"{result.bandwidth_speedup:+.2%}",
+                f"{result.baseline.migrations}",
+                f"{result.baseline.clients[0].migration_wait * 1e3:.1f} ms",
+            )
+        )
+
+    nic = args.nic_gigabits * 1e9
+    print(
+        render_table(
+            (
+                "servers",
+                "irqbalance MB/s",
+                "SAIs MB/s",
+                "speed-up",
+                "migrations",
+                "migration queue wait",
+            ),
+            rows,
+            title=(
+                f"IOR read, {args.processes} processes, "
+                f"{args.transfer_mib} MiB transfers, "
+                f"{args.nic_gigabits}-Gigabit NIC "
+                f"(ceiling {nic / 8 / MiB:.0f} MB/s)"
+            ),
+        )
+    )
+    print()
+    print(
+        "Reading the table: more servers -> more concurrent strip arrivals "
+        "-> deeper migration queue under irqbalance -> bigger SAIs win, "
+        "until the NIC (not the CPU) caps both."
+    )
+    assert bits_per_sec(1.0) == 8.0  # sanity: units helper wired correctly
+
+
+if __name__ == "__main__":
+    main()

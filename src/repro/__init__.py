@@ -1,0 +1,60 @@
+"""repro — a reproduction of *A Source-aware Interrupt Scheduling for
+Modern Parallel I/O Systems* (SAIs, IPPS 2012).
+
+The public API in three layers:
+
+* **run experiments**: :func:`run_experiment`, :func:`compare_policies`
+  over a :class:`ClusterConfig`;
+* **build systems**: :func:`build_cluster` and the component packages
+  (:mod:`repro.hw`, :mod:`repro.net`, :mod:`repro.pfs`, :mod:`repro.kernel`,
+  :mod:`repro.des`);
+* **the contribution itself**: :mod:`repro.core` — interrupt-scheduling
+  policies, the SAIs hint components, and the Sec. III analytic model.
+
+Quickstart::
+
+    from repro import ClusterConfig, compare_policies
+
+    cfg = ClusterConfig(n_servers=48)
+    result = compare_policies(cfg)          # irqbalance vs SAIs
+    print(f"speed-up: {result.bandwidth_speedup:.1%}")
+"""
+
+from .config import (
+    ClientConfig,
+    ClusterConfig,
+    CostModel,
+    NetworkConfig,
+    ServerConfig,
+    WorkloadConfig,
+)
+from .cluster import (
+    Simulation,
+    build_cluster,
+    compare_policies,
+    run_experiment,
+)
+from .core import AnalysisParams, available_policies, create_policy
+from .errors import ReproError
+from .metrics import RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClusterConfig",
+    "ClientConfig",
+    "ServerConfig",
+    "NetworkConfig",
+    "WorkloadConfig",
+    "CostModel",
+    "Simulation",
+    "run_experiment",
+    "compare_policies",
+    "build_cluster",
+    "RunMetrics",
+    "AnalysisParams",
+    "create_policy",
+    "available_policies",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,139 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    sais-repro list                       # show available experiments
+    sais-repro run fig5_bandwidth_3g      # regenerate one figure
+    sais-repro run all --scale quick      # everything, small runs
+    python -m repro ...                   # same thing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as t
+
+from . import __version__
+from .errors import ReproError
+from .experiments import all_experiment_ids, run_experiment_by_id
+from .experiments.base import SCALES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sais-repro",
+        description=(
+            "Reproduction of 'A Source-aware Interrupt Scheduling for "
+            "Modern Parallel I/O Systems' (SAIs, IPPS 2012)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    summary = sub.add_parser(
+        "summary",
+        help="run every experiment and print one paper-vs-measured grid",
+    )
+    summary.add_argument(
+        "--scale", choices=SCALES, default="quick",
+        help="run-length preset (default: quick)",
+    )
+
+    run = sub.add_parser("run", help="run experiments and print their tables")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (or 'all')",
+    )
+    run.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="default",
+        help="run-length preset (quick/default/full)",
+    )
+    run.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render the figure as terminal bars",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+    return parser
+
+
+def main(argv: t.Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in all_experiment_ids():
+            print(exp_id)
+        return 0
+
+    if args.command == "summary":
+        from .metrics.report import render_table
+
+        rows = []
+        for exp_id in all_experiment_ids():
+            result = run_experiment_by_id(exp_id, scale=args.scale)
+            for key, paper_value in result.paper.items():
+                measured = result.measured.get(key, float("nan"))
+                rows.append(
+                    (exp_id, key, f"{paper_value:g}", f"{measured:g}")
+                )
+        print(
+            render_table(
+                ("experiment", "headline", "paper", "measured"),
+                rows,
+                title=f"SAIs reproduction summary (scale={args.scale})",
+            )
+        )
+        return 0
+
+    ids = list(args.experiments)
+    if ids == ["all"]:
+        ids = all_experiment_ids()
+    unknown = [i for i in ids if i not in all_experiment_ids()]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(all_experiment_ids())}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        import json
+
+        payload = [
+            run_experiment_by_id(exp_id, scale=args.scale).to_dict()
+            for exp_id in ids
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    for index, exp_id in enumerate(ids):
+        if index:
+            print()
+        result = run_experiment_by_id(exp_id, scale=args.scale)
+        print(result.render())
+        if args.plot:
+            from .metrics.ascii_plot import plot_result
+
+            print()
+            try:
+                print(plot_result(result))
+            except ReproError as exc:
+                print(f"(no chart: {exc})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Cluster assembly: wiring clients, servers and the network together.
+
+* :class:`~repro.cluster.client_node.ClientNode` — one fully-wired client
+  machine (cores, caches, buses, NIC, APIC, softirq daemons, PFS client,
+  and the SAIs components when the configured policy needs hints);
+* :func:`~repro.cluster.builder.build_cluster` — assemble a whole
+  :class:`~repro.cluster.builder.Cluster` from a
+  :class:`~repro.config.ClusterConfig`;
+* :class:`~repro.cluster.simulation.Simulation` — run the configured IOR
+  workload on the cluster and collect :class:`~repro.metrics.RunMetrics`;
+  :func:`~repro.cluster.simulation.run_experiment` and
+  :func:`~repro.cluster.simulation.compare_policies` are the one-call entry
+  points the experiments and examples use.
+"""
+
+from .builder import Cluster, build_cluster
+from .client_node import ClientNode
+from .simulation import Simulation, compare_policies, run_experiment
+
+__all__ = [
+    "ClientNode",
+    "Cluster",
+    "build_cluster",
+    "Simulation",
+    "run_experiment",
+    "compare_policies",
+]

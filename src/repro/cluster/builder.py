@@ -1,0 +1,166 @@
+"""Assemble a whole cluster (clients + servers + fabric) from a config."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import ClusterConfig
+from ..core.policy import create_policy
+from ..core.sais import HintCapsuler
+from ..des import Environment
+from ..net.links import Link
+from ..net.packet import Packet
+from ..net.switch import Switch
+from ..pfs.layout import StripeLayout
+from ..pfs.metadata import MetadataServer
+from ..pfs.request import StripRequest
+from ..metrics.trace import Tracer
+from ..pfs.server import IoServer
+from ..rng import RngFactory
+from .client_node import ClientNode
+
+__all__ = ["Cluster", "build_cluster"]
+
+
+@dataclasses.dataclass
+class Cluster:
+    """A fully-wired simulated cluster, ready to run a workload."""
+
+    env: Environment
+    config: ClusterConfig
+    clients: list[ClientNode]
+    servers: list[IoServer]
+    switch: Switch
+    metadata: MetadataServer
+    layout: StripeLayout
+    rngs: RngFactory
+    #: Per-strip lifecycle tracer (None unless ``config.trace``).
+    tracer: Tracer | None = None
+
+
+def build_cluster(config: ClusterConfig) -> Cluster:
+    """Build every component of one experiment point and wire the paths.
+
+    Data path: ``IoServer.serve`` -> server uplink ``Link`` ->
+    ``Switch.forward`` -> destination client's ``Nic.receive`` -> I/O APIC
+    (policy) -> softirq -> PFS client.
+
+    Request path: client ``PfsClient.issue`` -> fabric latency ->
+    ``IoServer.serve`` (request messages are a few hundred bytes; only
+    their latency is modeled).
+    """
+    env = Environment()
+    rngs = RngFactory(config.seed)
+    layout = StripeLayout(config.strip_size, config.n_servers)
+    net = config.network
+
+    switch = Switch(
+        env, backplane_bandwidth=net.switch_bandwidth, latency=net.latency
+    )
+    metadata = MetadataServer(env)
+    tracer = Tracer() if config.trace else None
+
+    clients: list[ClientNode] = []
+    for client_index in range(config.n_clients):
+        # Each client programs its own APIC: policies hold per-client state
+        # (round-robin counters, irqbalance assignments).
+        policy = create_policy(config.policy)
+        clients.append(
+            ClientNode(env, client_index, config, policy, layout, tracer=tracer)
+        )
+
+    sais_enabled = clients[0].policy.requires_hints
+
+    def deliver_to_client(packet: Packet) -> t.Any:
+        return clients[packet.dst_client].nic.receive(packet)
+
+    def into_switch(packet: Packet) -> t.Any:
+        return switch.forward(packet, deliver_to_client)
+
+    servers: list[IoServer] = []
+    for server_index in range(config.n_servers):
+        uplink = Link(
+            env,
+            bandwidth=config.server.nic_bandwidth,
+            latency=0.0,  # the switch hop carries the fabric latency
+            framing_overhead=net.framing_overhead,
+            name=f"server{server_index}_uplink",
+        )
+        servers.append(
+            IoServer(
+                env,
+                index=server_index,
+                config=config.server,
+                uplink=uplink,
+                deliver=into_switch,
+                rng=rngs.stream(f"server{server_index}"),
+                capsuler=HintCapsuler() if sais_enabled else None,
+                tracer=tracer,
+                mss=net.mss,
+            )
+        )
+
+    # Client transmit side, used by the write path (write strips carry the
+    # data *out* through the client's bonded ports).
+    client_uplinks = [
+        Link(
+            env,
+            bandwidth=config.client.nic_bandwidth,
+            latency=0.0,
+            framing_overhead=net.framing_overhead,
+            name=f"client{idx}_uplink",
+        )
+        for idx in range(config.n_clients)
+    ]
+
+    def make_submit(client_index: int) -> t.Callable[[StripRequest], None]:
+        uplink = client_uplinks[client_index]
+
+        def submit(request: StripRequest) -> None:
+            server = servers[request.server]
+
+            def _route_read() -> t.Generator:
+                # Request message: one fabric traversal of latency; its
+                # few hundred bytes of serialization are negligible next
+                # to the data path and are folded into the latency.
+                if net.latency > 0:
+                    yield env.timeout(net.latency)
+                yield from server.serve(request)
+
+            def _route_write() -> t.Generator:
+                # The data strip serializes out the client NIC, crosses
+                # the switch, and is absorbed by the server, which acks
+                # back over the normal return path.
+                data = Packet(
+                    size=request.size,
+                    src_server=request.server,
+                    dst_client=request.client,
+                    request_id=request.request_id,
+                    strip_id=request.strip_id,
+                )
+                yield from uplink.transmit(
+                    data,
+                    lambda packet: switch.forward(
+                        packet, lambda _p: server.serve_write(request)
+                    ),
+                )
+
+            env.process(_route_write() if request.is_write else _route_read())
+
+        return submit
+
+    for client in clients:
+        client.connect(make_submit(client.index))
+
+    return Cluster(
+        env=env,
+        config=config,
+        clients=clients,
+        servers=servers,
+        switch=switch,
+        metadata=metadata,
+        layout=layout,
+        rngs=rngs,
+        tracer=tracer,
+    )

@@ -1,0 +1,219 @@
+"""One fully-assembled I/O client machine.
+
+Owns every client-side hardware and kernel component and implements the
+application-visible read path:
+
+* ``pfs.issue(...)`` — fan a read out to the servers (with the SAIs hint
+  when the policy requires it);
+* ``merge_strip(...)`` — the consumer-side copy of one arrived strip,
+  charging the local-copy / cache-to-cache-migration / DRAM-refetch cost
+  depending on where interrupt scheduling left the data;
+* ``compute(...)`` — the IOR encrypt phase on the consumer core.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import ClusterConfig
+from ..core.policies import SourceAwareProcessPolicy
+from ..core.policy import InterruptSchedulingPolicy
+from ..core.sais import HintMessager, IMComposer, SrcParser
+from ..des import Environment
+from ..hw.apic import IoApic
+from ..hw.cache import CacheSystem, Location
+from ..hw.core import APP_PRIORITY, Core
+from ..hw.interconnect import InterconnectBus
+from ..hw.memory import MemoryBus
+from ..hw.nic import Nic
+from ..kernel.irq import wire_interrupts
+from ..kernel.process import ProcessTable
+from ..kernel.softirq import SoftirqDaemon
+from ..pfs.client import ArrivedStrip, PfsClient
+from ..pfs.layout import StripeLayout
+from ..pfs.request import StripRequest
+
+__all__ = ["ClientNode"]
+
+
+class ClientNode:
+    """A client machine wired for one interrupt-scheduling policy."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        config: ClusterConfig,
+        policy: InterruptSchedulingPolicy,
+        layout: StripeLayout,
+        tracer: t.Any | None = None,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.config = config
+        self.policy = policy
+        client_cfg = config.client
+        costs = config.costs
+        self.costs = costs
+        #: Optional per-strip lifecycle tracer (repro.metrics.trace).
+        self.tracer = tracer
+
+        self.cores = [
+            Core(env, i, client_cfg.clock_hz) for i in range(client_cfg.n_cores)
+        ]
+        self.cache = CacheSystem(
+            n_cores=client_cfg.n_cores,
+            l2_bytes=client_cfg.l2_bytes,
+            strip_size=config.strip_size,
+            cache_line=client_cfg.cache_line,
+        )
+        self.interconnect = InterconnectBus(env, costs)
+        self.membus = MemoryBus(env, client_cfg.memory_bandwidth)
+        self.processes = ProcessTable(client_cfg.n_cores)
+
+        # SAIs components exist only when the policy consumes hints; a
+        # conventional policy runs on a completely stock stack.
+        sais = policy.requires_hints
+        self.hint_messager = HintMessager() if sais else None
+        self.src_parser = SrcParser() if sais else None
+        self.im_composer = IMComposer() if sais else None
+
+        self.ioapic = IoApic(env, self.cores, policy)
+        self.nic = Nic(
+            env,
+            bandwidth=client_cfg.nic_bandwidth,
+            ioapic=self.ioapic,
+            framing_overhead=config.network.framing_overhead,
+            driver_hook=self.src_parser.parse if self.src_parser else None,
+            composer=self.im_composer.compose if self.im_composer else None,
+            tracer=tracer,
+            napi=client_cfg.napi,
+            napi_budget=client_cfg.napi_budget,
+        )
+
+        # Late-bound by the cluster builder once the servers exist.
+        self._submit: t.Callable[[StripRequest], None] | None = None
+        self.pfs = PfsClient(
+            env,
+            client_index=index,
+            layout=layout,
+            submit=self._dispatch,
+            hint_messager=self.hint_messager,
+            tracer=tracer,
+        )
+        if isinstance(policy, SourceAwareProcessPolicy):
+            policy.set_process_locator(self.pfs.locate_request)
+
+        self.daemons = [
+            SoftirqDaemon(env, core, self.cache, costs, self.pfs)
+            for core in self.cores
+        ]
+        wire_interrupts(self.ioapic, self.daemons)
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, submit: t.Callable[[StripRequest], None]) -> None:
+        """Install the route toward the I/O servers (builder-time wiring)."""
+        self._submit = submit
+
+    def _dispatch(self, request: StripRequest) -> None:
+        if self._submit is None:
+            raise RuntimeError(
+                f"client {self.index} is not connected to any servers"
+            )
+        self._submit(request)
+
+    # -- application-visible read path ----------------------------------------
+
+    def issue_request(
+        self, offset: int, size: int, core_index: int, write: bool = False
+    ):
+        """Issue one read/write from a process pinned on ``core_index``.
+
+        Returns a generator; the caller pays the issue cost on its core and
+        receives the :class:`~repro.pfs.client.OutstandingRequest`.
+        """
+        core = self.cores[core_index]
+        yield from core.run(
+            self.costs.request_issue_cost, "issue", APP_PRIORITY
+        )
+        return self.pfs.issue(offset, size, core_index, write=write)
+
+    def merge_strip(self, core_index: int, strip: ArrivedStrip) -> t.Generator:
+        """Copy one arrived strip into the application buffer.
+
+        The cost depends on where interrupt scheduling left the data:
+
+        * resident locally — a cheap cache-hot copy;
+        * in a remote core's cache — the consumer stalls for the
+          cache-to-cache migration, serialized on the interconnect bus
+          (the paper's ``M`` and the heart of the whole effect);
+        * evicted to DRAM — a refetch over the shared memory bus.
+        """
+        core = self.cores[core_index]
+        with core.request(priority=APP_PRIORITY) as req:
+            yield req
+            location = self.cache.consume(core_index, strip.token)
+            if location is Location.LOCAL:
+                yield from core.run_locked(
+                    strip.size / self.costs.local_copy_rate, "copy"
+                )
+            else:
+                # REMOTE: dirty cache-to-cache migration (the paper's M) —
+                # at the shared-L3 rate when the handling core shares the
+                # consumer's socket, at the HyperTransport rate otherwise.
+                # MEMORY/ABSENT: demand-miss refetch through DRAM.  All of
+                # them ride the serialized fill path (Sec. III-A: "only
+                # one strip migration can happen at any time").  While
+                # *queued* for the bus the consumer's stall overlaps other
+                # transfers (idle); the granted transfer itself stalls the
+                # core (unhalted).
+                if location is Location.REMOTE:
+                    client_cfg = self.config.client
+                    same_socket = client_cfg.socket_of(
+                        strip.handled_on
+                    ) == client_cfg.socket_of(core_index)
+                    rate = (
+                        self.costs.intra_socket_c2c_rate
+                        if same_socket
+                        else self.costs.c2c_rate
+                    )
+                    category = "migration"
+                else:
+                    rate = self.costs.mem_fetch_rate
+                    category = "memory_fetch"
+                with self.interconnect.acquire() as grant:
+                    yield grant
+                    yield from core.run_while(
+                        self.interconnect.transfer_locked(strip.size, rate),
+                        category,
+                    )
+        if self.tracer is not None:
+            self.tracer.record(self.index, strip.token, "merged", self.env.now)
+            self.tracer.label(self.index, strip.token, location.value)
+        return location
+
+    def compute(self, core_index: int, nbytes: int) -> t.Generator:
+        """The IOR added compute phase: encrypt the merged request buffer.
+
+        Runs in strip-sized chunks, releasing the core between chunks, so
+        that softirq work (priority 0) is delayed by at most one chunk —
+        approximating Linux, where softirqs preempt user code at interrupt
+        return rather than waiting out a multi-millisecond compute burst.
+        """
+        core = self.cores[core_index]
+        chunk = self.config.strip_size
+        remaining = nbytes
+        while remaining > 0:
+            piece = min(chunk, remaining)
+            yield from core.run(
+                piece / self.costs.encrypt_rate, "compute", APP_PRIORITY
+            )
+            remaining -= piece
+        self.cache.compute_pass(core_index, nbytes)
+
+    # -- accounting -----------------------------------------------------------
+
+    def total_busy_time(self) -> float:
+        """Busy seconds summed over all cores."""
+        return sum(core.busy_time for core in self.cores)

@@ -1,0 +1,96 @@
+"""Vectorized grid evaluation of the Sec. III closed forms.
+
+:class:`~repro.core.analysis.AnalysisParams` evaluates one point; this
+module evaluates whole parameter grids at once with NumPy — the analytic
+counterpart of the simulator sweeps, used for quick what-if exploration
+(e.g. "over which (NS, M/P) region does the model predict a >10% win?")
+without running any events.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["AnalysisGrid", "evaluate_grid"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisGrid:
+    """Closed-form predictions over an (n_servers x migration-cost) grid.
+
+    All arrays have shape ``(len(n_servers), len(strip_migration))``.
+    """
+
+    n_servers: np.ndarray
+    strip_migration: np.ndarray
+    t_balanced: np.ndarray
+    t_source_aware: np.ndarray
+    gap: np.ndarray
+    predicted_speedup: np.ndarray
+
+    def win_region(self, threshold: float = 0.1) -> np.ndarray:
+        """Boolean mask of grid cells with predicted speed-up > threshold."""
+        return self.predicted_speedup > threshold
+
+
+def evaluate_grid(
+    n_servers: t.Sequence[int],
+    strip_migration: t.Sequence[float],
+    n_cores: int,
+    strip_processing: float,
+    rest_time: float = 0.0,
+    n_requests: int = 1,
+) -> AnalysisGrid:
+    """Evaluate eqs. (5), (6) and (9) over a grid.
+
+    Parameters mirror :class:`~repro.core.analysis.AnalysisParams`, with
+    ``n_servers`` and ``strip_migration`` (M) swept as the two axes.
+    """
+    if n_cores < 1:
+        raise ConfigError("n_cores must be >= 1")
+    if strip_processing <= 0:
+        raise ConfigError("strip_processing must be positive")
+    if rest_time < 0:
+        raise ConfigError("rest_time must be non-negative")
+    if n_requests < 1:
+        raise ConfigError("n_requests must be >= 1")
+
+    servers = np.asarray(list(n_servers), dtype=np.float64)
+    migration = np.asarray(list(strip_migration), dtype=np.float64)
+    if servers.ndim != 1 or migration.ndim != 1 or not len(servers) or not len(
+        migration
+    ):
+        raise ConfigError("n_servers and strip_migration must be 1-D, non-empty")
+    if (servers < 1).any():
+        raise ConfigError("n_servers entries must be >= 1")
+    if (migration <= 0).any():
+        raise ConfigError("strip_migration entries must be positive")
+
+    ns = servers[:, np.newaxis]  # broadcast rows
+    m = migration[np.newaxis, :]  # broadcast columns
+    alpha = ns / n_cores
+
+    # Eq. (6): TR + M x alpha x (NC - 1) x NR  (lower bound, balanced).
+    t_balanced = rest_time + m * alpha * (n_cores - 1) * n_requests
+    # Eq. (5): TR + P x NS x NR  (source-aware).
+    t_source_aware = rest_time + strip_processing * ns * n_requests
+    t_source_aware = np.broadcast_to(t_source_aware, t_balanced.shape).copy()
+    # Eq. (9): (NC - 1) x NR x alpha x (M - P).
+    gap = (n_cores - 1) * n_requests * alpha * (m - strip_processing)
+    speedup = t_balanced / t_source_aware - 1.0
+
+    full_servers = np.broadcast_to(ns, t_balanced.shape).copy()
+    full_migration = np.broadcast_to(m, t_balanced.shape).copy()
+    return AnalysisGrid(
+        n_servers=full_servers,
+        strip_migration=full_migration,
+        t_balanced=t_balanced,
+        t_source_aware=t_source_aware,
+        gap=gap,
+        predicted_speedup=speedup,
+    )

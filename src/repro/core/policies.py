@@ -1,0 +1,235 @@
+"""The interrupt-scheduling policies compared in the paper.
+
+Conventional (source-unaware) schemes — Sec. II-B / Fig. 1:
+
+* :class:`RoundRobinPolicy` — Fig. 1(a); the Linux/Intel default;
+* :class:`DedicatedPolicy` — Fig. 1(b); the Linux/AMD "lowest priority"
+  default that funnels everything to the last core;
+* :class:`LeastLoadedPolicy` — Sec. III policy (iii), the idealized
+  per-interrupt balance scheme;
+* :class:`IrqbalancePolicy` — the irqbalance daemon: rx queues are hashed
+  per flow and queue→core assignments are rebalanced periodically from
+  load statistics.  This is the paper's experimental baseline.
+
+Source-aware schemes — Sec. III policies (i) and (ii):
+
+* :class:`SourceAwarePolicy` — deliver to the core that *issued* the
+  request, as carried by the packet's ``aff_core_id`` hint (the SAIs
+  prototype the paper implements);
+* :class:`SourceAwareProcessPolicy` — deliver to the core the requesting
+  process is running on *now* (identical unless the process migrated
+  during the blocking I/O, which the paper argues is rare).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import ConfigError
+from .policy import InterruptSchedulingPolicy, register_policy
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.apic import InterruptContext
+    from ..hw.core import Core
+
+__all__ = [
+    "RoundRobinPolicy",
+    "AdaptiveSourceAwarePolicy",
+    "DedicatedPolicy",
+    "LeastLoadedPolicy",
+    "IrqbalancePolicy",
+    "SourceAwarePolicy",
+    "SourceAwareProcessPolicy",
+]
+
+
+def _least_loaded(cores: t.Sequence["Core"]) -> int:
+    """Index of the least-loaded core; deterministic tie-break by index."""
+    best = 0
+    best_load = cores[0].load()
+    for core in cores[1:]:
+        load = core.load()
+        if load < best_load:
+            best, best_load = core.index, load
+    return best
+
+
+@register_policy
+class RoundRobinPolicy(InterruptSchedulingPolicy):
+    """Strict rotation across all cores, one interrupt at a time."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        core = self._next % len(cores)
+        self._next += 1
+        return core
+
+
+@register_policy
+class DedicatedPolicy(InterruptSchedulingPolicy):
+    """All interrupts to one fixed core (default: the highest-numbered one,
+    matching the paper's observation that the AMD lowest-priority mode lands
+    everything on core 7)."""
+
+    name = "dedicated"
+
+    def __init__(self, core_index: int | None = None) -> None:
+        super().__init__()
+        if core_index is not None and core_index < 0:
+            raise ConfigError(f"core_index must be >= 0, got {core_index}")
+        self.core_index = core_index
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        if self.core_index is None:
+            return len(cores) - 1
+        if self.core_index >= len(cores):
+            raise ConfigError(
+                f"dedicated core {self.core_index} does not exist "
+                f"({len(cores)} cores)"
+            )
+        return self.core_index
+
+
+@register_policy
+class LeastLoadedPolicy(InterruptSchedulingPolicy):
+    """Per-interrupt selection of the currently least-loaded core."""
+
+    name = "least_loaded"
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        return _least_loaded(cores)
+
+
+@register_policy
+class IrqbalancePolicy(InterruptSchedulingPolicy):
+    """A model of the irqbalance daemon over multi-queue RSS hashing.
+
+    Flows (per-server TCP connections) hash onto ``n_queues`` rx queues;
+    each queue is pinned to one core; every ``rebalance_interval`` of
+    virtual time the queue→core map is recomputed from core load statistics
+    (least-loaded cores get the queues first).  Between rebalances the
+    mapping is static — exactly the granularity at which the real daemon
+    operates, and the reason strips of one parallel request scatter across
+    cores: the request's strips arrive on many *flows*.
+    """
+
+    name = "irqbalance"
+
+    def __init__(
+        self,
+        n_queues: int | None = None,
+        rebalance_interval: float = 10e-3,
+    ) -> None:
+        super().__init__()
+        if rebalance_interval <= 0:
+            raise ConfigError("rebalance_interval must be positive")
+        self.n_queues = n_queues
+        self.rebalance_interval = rebalance_interval
+        self._assignment: list[int] = []
+        self._last_balance = float("-inf")
+
+    def _queues(self, n_cores: int) -> int:
+        return self.n_queues if self.n_queues is not None else n_cores
+
+    def _rebalance(self, cores: t.Sequence["Core"]) -> None:
+        order = sorted(range(len(cores)), key=lambda i: (cores[i].load(), i))
+        n_queues = self._queues(len(cores))
+        self._assignment = [order[q % len(order)] for q in range(n_queues)]
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        now = cores[0].env.now
+        if not self._assignment or now - self._last_balance >= self.rebalance_interval:
+            self._rebalance(cores)
+            self._last_balance = now
+        flow = getattr(ctx.packet, "src_server", 0)
+        queue = flow % len(self._assignment)
+        return self._assignment[queue]
+
+
+@register_policy
+class SourceAwarePolicy(InterruptSchedulingPolicy):
+    """SAIs policy (i): deliver to the request-issuing core via the hint.
+
+    Reads ``ctx.aff_core_id`` — i.e. whatever ``SrcParser`` decoded from
+    the packet's IP options.  Traffic without a hint (servers not running
+    ``HintCapsuler``) falls back to least-loaded, making the policy a safe
+    drop-in complement to existing scheduling, as the paper positions it.
+    """
+
+    name = "source_aware"
+    requires_hints = True
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        aff = ctx.aff_core_id
+        if aff is not None and 0 <= aff < len(cores):
+            return aff
+        return _least_loaded(cores)
+
+
+@register_policy
+class AdaptiveSourceAwarePolicy(InterruptSchedulingPolicy):
+    """The paper's future-work direction: integrate the policies.
+
+    Follows the source-aware hint while the hinted core has CPU headroom,
+    but falls back to the least-loaded core when the hinted core is
+    saturated — trading locality for balance exactly when Sec. III-D.2
+    says locality stops paying (the CPU-saturated regime).
+    """
+
+    name = "adaptive_source_aware"
+    requires_hints = True
+
+    def __init__(self, load_threshold: float = 2.0) -> None:
+        super().__init__()
+        if load_threshold <= 0:
+            raise ConfigError("load_threshold must be positive")
+        #: Hinted-core load (runnable jobs incl. queue) above which the
+        #: policy abandons locality for balance.
+        self.load_threshold = load_threshold
+        self.locality_hits = 0
+        self.balance_fallbacks = 0
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        aff = ctx.aff_core_id
+        if aff is not None and 0 <= aff < len(cores):
+            if cores[aff].load() <= self.load_threshold:
+                self.locality_hits += 1
+                return aff
+        self.balance_fallbacks += 1
+        return _least_loaded(cores)
+
+
+@register_policy
+class SourceAwareProcessPolicy(InterruptSchedulingPolicy):
+    """SAIs policy (ii): deliver to the core the requester runs on *now*.
+
+    Needs an OS-level oracle (a process locator) because hardware alone
+    cannot know where the scheduler moved a blocked process; the cluster
+    wiring installs one.  Falls back to the packet hint, then least-loaded.
+    """
+
+    name = "source_aware_process"
+    requires_hints = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._locator: t.Callable[[int], int | None] | None = None
+
+    def set_process_locator(self, locator: t.Callable[[int], int | None]) -> None:
+        """Install ``locator(request_id) -> current core of the requester``."""
+        self._locator = locator
+
+    def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
+        if self._locator is not None:
+            core = self._locator(ctx.packet.request_id)
+            if core is not None and 0 <= core < len(cores):
+                return core
+        aff = ctx.aff_core_id
+        if aff is not None and 0 <= aff < len(cores):
+            return aff
+        return _least_loaded(cores)

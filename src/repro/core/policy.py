@@ -1,0 +1,87 @@
+"""The interrupt-scheduling policy interface and registry.
+
+A policy is the function the I/O APIC redirection logic computes: *given an
+interrupt (and whatever the hardware/driver can know about it), which core
+should handle it?*  Conventional policies look only at core utilization;
+source-aware policies read the ``aff_core_id`` the SAIs components planted
+in the packet.
+
+Policies are registered by name so experiment configs can select them as
+strings (``ClusterConfig.policy``) and ablation benches can sweep the whole
+registry.
+"""
+
+from __future__ import annotations
+
+import abc
+import typing as t
+
+from ..errors import ConfigError
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.apic import InterruptContext, IoApic
+    from ..hw.core import Core
+
+__all__ = [
+    "InterruptSchedulingPolicy",
+    "register_policy",
+    "create_policy",
+    "available_policies",
+]
+
+_REGISTRY: dict[str, type["InterruptSchedulingPolicy"]] = {}
+
+
+class InterruptSchedulingPolicy(abc.ABC):
+    """Chooses the destination core for each device interrupt."""
+
+    #: Registry key; subclasses must set it.
+    name: t.ClassVar[str] = ""
+    #: True if the policy needs the SAIs hint plumbing (HintMessager on the
+    #: client, HintCapsuler on the servers, SrcParser in the NIC driver) to
+    #: be installed for it to see ``aff_core_id``.
+    requires_hints: t.ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self.ioapic: "IoApic | None" = None
+
+    def bind(self, ioapic: "IoApic") -> None:
+        """Called once when the policy is programmed into an I/O APIC."""
+        self.ioapic = ioapic
+
+    @abc.abstractmethod
+    def select_core(
+        self, ctx: "InterruptContext", cores: t.Sequence["Core"]
+    ) -> int:
+        """Return the index of the core that should handle ``ctx``."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def register_policy(
+    cls: type[InterruptSchedulingPolicy],
+) -> type[InterruptSchedulingPolicy]:
+    """Class decorator adding a policy to the registry under ``cls.name``."""
+    if not cls.name:
+        raise ConfigError(f"{cls.__name__} must define a non-empty name")
+    if cls.name in _REGISTRY:
+        raise ConfigError(f"policy name {cls.name!r} is already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_policy(name: str, **kwargs: t.Any) -> InterruptSchedulingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def available_policies() -> list[str]:
+    """Sorted names of all registered policies."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,147 @@
+"""The simulation environment: virtual clock plus event calendar."""
+
+from __future__ import annotations
+
+import typing as t
+from heapq import heappop, heappush
+from itertools import count
+
+from ..errors import SimulationError
+from .events import NORMAL, Event, Timeout
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import Process
+
+__all__ = ["Environment"]
+
+_GeneratorT = t.Generator[Event, t.Any, t.Any]
+
+
+class _EmptyCalendar(Exception):
+    """Internal: raised by :meth:`Environment.step` when nothing is left."""
+
+
+class Environment:
+    """Owns the virtual clock and executes events in timestamp order.
+
+    Ties are broken by scheduling priority (URGENT before NORMAL) and then
+    by insertion order, which makes runs fully deterministic.
+
+    >>> env = Environment()
+    >>> def hello(env):
+    ...     yield env.timeout(3.0)
+    ...     return "done"
+    >>> proc = env.process(hello(env))
+    >>> env.run()
+    >>> env.now
+    3.0
+    >>> proc.value
+    'done'
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self.active_process: "Process | None" = None
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- event factories ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: t.Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: _GeneratorT) -> "Process":
+        """Start ``generator`` as a new simulation process."""
+        from .process import Process
+
+        return Process(self, generator)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Put a triggered event on the calendar ``delay`` from now."""
+        heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event (advancing the clock to it)."""
+        try:
+            when, _, _, event = heappop(self._queue)
+        except IndexError:
+            raise _EmptyCalendar() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure that no process absorbed: stop the world so bugs in
+            # models cannot silently vanish.
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> t.Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the calendar is empty;
+            a number
+                run until that virtual time (the clock lands exactly on it);
+            an :class:`Event`
+                run until that event is processed and return its value.
+        """
+        if until is None:
+            try:
+                while True:
+                    self.step()
+            except _EmptyCalendar:
+                return None
+
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:  # already processed
+                return stop._value
+            flag: list[bool] = []
+            stop.callbacks.append(lambda _ev: flag.append(True))
+            try:
+                while not flag:
+                    self.step()
+            except _EmptyCalendar:
+                raise SimulationError(
+                    "simulation ended before the awaited event fired"
+                ) from None
+            if not stop._ok:
+                stop.defuse()
+                raise stop._value
+            return stop._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"cannot run until {horizon} which is before now={self._now}"
+            )
+        try:
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+        except _EmptyCalendar:  # pragma: no cover - guarded by loop condition
+            pass
+        self._now = horizon
+        return None

@@ -1,0 +1,154 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` drives a Python generator: each event the generator
+``yield``\\ s suspends it until the event fires, at which point the event's
+value is sent back in (or its exception thrown in).  A process is itself an
+:class:`~repro.des.events.Event` that fires when the generator returns, with
+the generator's return value.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import SimulationError
+from .events import PENDING, URGENT, Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .environment import Environment
+
+__all__ = ["Process", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process's generator by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> t.Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running generator on the simulation calendar.
+
+    Fires (as an event) when the generator finishes; its value is the
+    generator's return value.  If the generator raises, the process fails
+    with that exception, which propagates to waiters or stops the run.
+    """
+
+    __slots__ = ("_generator", "_target")
+
+    def __init__(self, env: "Environment", generator: t.Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process currently waits on (None while running).
+        self._target: Event | None = None
+        # Kick the generator off via an immediately-scheduled init event.
+        init = Event(env)
+        init._ok = True
+        init._value = None
+        init.callbacks.append(self._resume)
+        env.schedule(init, priority=URGENT)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is PENDING
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently suspended on, if any."""
+        return self._target
+
+    def interrupt(self, cause: t.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered via an urgent event so that the victim's
+        state is consistent when it receives the exception.  Interrupting a
+        finished process is an error; interrupting a process that completes
+        at the same timestamp is silently dropped.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env.active_process = self
+        self._target = None
+        while True:
+            try:
+                if event._ok:
+                    next_target = self._generator.send(event._value)
+                else:
+                    # The waiter absorbs the failure.
+                    event.defuse()
+                    next_target = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except BaseException as exc:  # noqa: BLE001 - process death path
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_target, Event):
+                exc = SimulationError(
+                    f"process yielded a non-event: {next_target!r}"
+                )
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+            if next_target.env is not env:
+                exc = SimulationError("yielded an event from a foreign environment")
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if next_target.callbacks is not None:
+                # Still pending or triggered-but-unprocessed: subscribe.
+                next_target.callbacks.append(self._resume)
+                self._target = next_target
+                break
+            # Already processed: consume its value immediately.
+            event = next_target
+        env.active_process = None
+
+
+class _Interruption(Event):
+    """Internal urgent event that delivers an :class:`Interrupt`."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: Process, cause: t.Any) -> None:
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True  # delivery below hands it to the generator
+        self.callbacks = [self._deliver]
+        self.env.schedule(self, priority=URGENT)
+
+    def _deliver(self, _event: Event) -> None:
+        process = self.process
+        if not process.is_alive:
+            return  # finished in the meantime; drop silently
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            # Unsubscribe the victim from what it was waiting on.
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._resume(self)

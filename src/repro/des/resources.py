@@ -1,0 +1,372 @@
+"""Shared-resource primitives: FIFO/priority resources, stores, containers.
+
+These model the contended hardware in the simulator: a CPU core is a
+:class:`PriorityResource` (softirqs outrank application work), the
+inter-core interconnect and NIC are capacity-1 :class:`Resource`\\ s, queues
+of packets/requests are :class:`Store`\\ s.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+
+from ..errors import SimulationError
+from .events import Event
+
+if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .environment import Environment
+
+__all__ = [
+    "Resource",
+    "PriorityResource",
+    "PreemptiveResource",
+    "Preempted",
+    "Request",
+    "Store",
+    "Container",
+    "Barrier",
+]
+
+
+class Request(Event):
+    """A claim on a :class:`Resource` slot.
+
+    Usable as a context manager::
+
+        with core.request(priority=5) as req:
+            yield req                 # wait for the slot
+            yield env.timeout(work)   # hold it
+        # slot released on exit
+
+    Exiting before the request was granted cancels it; exiting after
+    being preempted (see :class:`PreemptiveResource`) is a no-op.
+    """
+
+    __slots__ = (
+        "resource",
+        "priority",
+        "key",
+        "cancelled",
+        "process",
+        "granted_at",
+        "preempted",
+    )
+
+    def __init__(self, resource: "Resource", priority: int = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.key = (priority, resource.env.now, next(resource._seq))
+        self.cancelled = False
+        #: The process that issued the request (preemption target).
+        self.process = resource.env.active_process
+        #: When the slot was granted (None while waiting).
+        self.granted_at: float | None = None
+        #: Set when a PreemptiveResource revoked the slot.
+        self.preempted = False
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: t.Any) -> None:
+        if self.preempted:
+            return  # the slot was already revoked
+        if self.triggered and self._ok:
+            self.resource.release(self)
+        elif not self.triggered:
+            self.cancel()
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if self.triggered:
+            raise SimulationError("cannot cancel a granted request; release it")
+        self.cancelled = True
+
+
+class Resource:
+    """A FIFO-queued resource with ``capacity`` identical slots."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._waiting: deque[Request] = deque()
+        self._seq = count()
+
+    # -- public API ---------------------------------------------------------
+
+    def request(self, priority: int = 0) -> Request:
+        """Ask for a slot.  ``priority`` is ignored by the FIFO base class."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Give back a granted slot and wake the next waiter, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise SimulationError("releasing a request that does not hold a slot")
+        self._grant_waiters()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held slots."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of ungranted (live) requests waiting."""
+        return sum(1 for req in self._waiting if not req.cancelled)
+
+    # -- internals ------------------------------------------------------------
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self._grant(request)
+        else:
+            self._enqueue(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+
+    def _next_waiter(self) -> Request | None:
+        while self._waiting:
+            request = self._waiting.popleft()
+            if not request.cancelled:
+                return request
+        return None
+
+    def _grant_waiters(self) -> None:
+        while len(self.users) < self.capacity:
+            request = self._next_waiter()
+            if request is None:
+                return
+            self._grant(request)
+
+    def _grant(self, request: Request) -> None:
+        self.users.append(request)
+        request.granted_at = self.env.now
+        request.succeed()
+
+
+class PriorityResource(Resource):
+    """A resource whose wait queue is ordered by ``priority`` (lower first).
+
+    Ties resolve by request time, then insertion order, so behaviour is
+    deterministic.  Used for CPU cores where softirq work (priority 0) must
+    run ahead of queued application work (priority 10).
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._heap: list[tuple[tuple[int, float, int], Request]] = []
+
+    def _enqueue(self, request: Request) -> None:
+        heappush(self._heap, (request.key, request))
+
+    def _next_waiter(self) -> Request | None:
+        while self._heap:
+            _key, request = heappop(self._heap)
+            if not request.cancelled:
+                return request
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return sum(1 for _k, req in self._heap if not req.cancelled)
+
+
+@dataclasses.dataclass(frozen=True)
+class Preempted:
+    """Interrupt cause delivered to a preempted slot holder."""
+
+    #: The request that took the slot.
+    by: Request
+    #: How long the victim had held the slot.
+    usage: float
+
+
+class PreemptiveResource(PriorityResource):
+    """A priority resource where urgent requests evict lesser holders.
+
+    If a request arrives with a *strictly* better (lower) priority than
+    the worst current holder while the resource is full, that holder's
+    slot is revoked: its request is marked ``preempted`` and its owning
+    process receives an :class:`~repro.des.process.Interrupt` whose cause
+    is a :class:`Preempted` record.  The victim's context-manager exit is
+    then a no-op; it may re-request to resume.
+
+    Equal priorities never preempt (FIFO applies), matching the usual
+    preemptive-priority queueing discipline.
+    """
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) >= self.capacity:
+            victim = max(self.users, key=lambda held: held.key)
+            if victim.priority > request.priority:
+                self._preempt(victim, request)
+        super()._do_request(request)
+
+    def _preempt(self, victim: Request, by: Request) -> None:
+        self.users.remove(victim)
+        victim.preempted = True
+        granted_at = (
+            victim.granted_at if victim.granted_at is not None else self.env.now
+        )
+        usage = self.env.now - granted_at
+        if victim.process is not None and victim.process.is_alive:
+            victim.process.interrupt(Preempted(by=by, usage=usage))
+
+
+class Store:
+    """An unbounded (or bounded) FIFO queue of Python objects.
+
+    ``put`` returns an event that fires when the item is accepted (always
+    immediately for unbounded stores); ``get`` returns an event that fires
+    with the next item.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[t.Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, t.Any]] = deque()
+
+    def put(self, item: t.Any) -> Event:
+        """Offer ``item``; the returned event fires when it is stored."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """The returned event fires with the oldest available item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progressed = True
+            if self._getters and self.items:
+                event = self._getters.popleft()
+                event.succeed(self.items.popleft())
+                progressed = True
+
+
+class Barrier:
+    """A cyclic rendezvous for a fixed party count.
+
+    Each participant yields the event from :meth:`wait`; all of them fire
+    together once the last party arrives, and the barrier resets for the
+    next cycle.  Models MPI-style collective synchronization (e.g. the
+    implicit sync of MPI-IO collective reads).
+    """
+
+    def __init__(self, env: "Environment", parties: int) -> None:
+        if parties < 1:
+            raise SimulationError(f"parties must be >= 1, got {parties}")
+        self.env = env
+        self.parties = parties
+        self._waiting: list[Event] = []
+        self.cycles = 0
+
+    @property
+    def n_waiting(self) -> int:
+        """Parties currently blocked at the barrier."""
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; the event fires when everyone has.
+
+        The event's value is the (0-based) cycle number that completed.
+        """
+        event = Event(self.env)
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            cycle, self.cycles = self.cycles, self.cycles + 1
+            waiters, self._waiting = self._waiting, []
+            for waiter in waiters:
+                waiter.succeed(cycle)
+        return event
+
+
+class Container:
+    """A homogeneous quantity (e.g. buffer bytes) with blocking put/get."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise SimulationError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        """Current stored amount."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount <= 0:
+            raise SimulationError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires once that much is available."""
+        if amount <= 0:
+            raise SimulationError(f"amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed()
+                    progressed = True

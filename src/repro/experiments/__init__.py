@@ -1,0 +1,55 @@
+"""The paper's evaluation, experiment by experiment.
+
+Every data-bearing table/figure in the paper has a module here that
+regenerates it (same rows/series, scaled-down run lengths).  Experiments
+register themselves in a name-keyed registry; the CLI
+(``python -m repro``) and the benchmark suite both run them through
+:func:`get_experiment` / :func:`run_experiment_by_id`.
+
+Figures 1-4 and 13 are architecture diagrams with no data series; the
+remaining artifacts map to:
+
+===================  ==========================================
+``fig5_bandwidth_3g``   Fig. 5  bandwidth + speed-up, 3-Gigabit NIC
+``sec5c_bandwidth_1g``  Sec. V-C text, 1-Gigabit NIC bandwidth
+``fig6_missrate_1g``    Fig. 6  L2 miss rate, 1-Gigabit NIC
+``fig7_missrate_3g``    Fig. 7  L2 miss rate, 3-Gigabit NIC
+``fig8_cpuutil_1g``     Fig. 8  CPU utilization, 1-Gigabit NIC
+``fig9_cpuutil_3g``     Fig. 9  CPU utilization, 3-Gigabit NIC
+``fig10_unhalted_1g``   Fig. 10 CPU_CLK_UNHALTED, 1-Gigabit NIC
+``fig11_unhalted_3g``   Fig. 11 CPU_CLK_UNHALTED, 3-Gigabit NIC
+``fig12_multiclient``   Fig. 12 multi-client scalability
+``fig14_memsim``        Fig. 14 memory-simulation sweep
+``sec3_model``          Sec. III analytic bounds vs simulator
+``ablation_policies``   Sec. III four-policy comparison
+``ablation_costmodel``  sensitivity to M/P and NIC bandwidth
+===================  ==========================================
+"""
+
+from .base import (
+    ExperimentResult,
+    all_experiment_ids,
+    get_experiment,
+    run_experiment_by_id,
+)
+
+# Importing the modules registers their experiments.
+from . import (  # noqa: E402,F401  (registration side effects)
+    ablations,
+    extension_mechanisms,
+    extension_modern_hw,
+    fig5_bandwidth,
+    fig6_7_missrate,
+    fig8_9_cpuutil,
+    fig10_11_unhalted,
+    fig12_multiclient,
+    fig14_memsim,
+    sec3_model,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "get_experiment",
+    "run_experiment_by_id",
+    "all_experiment_ids",
+]

@@ -1,0 +1,322 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* ``ablation_policies`` — Sec. III lists four scheduling policies; the
+  paper implements (i) and argues (ii) would be nearly identical because
+  processes rarely migrate during blocking I/O.  We run all of them (plus
+  round-robin) on the Fig. 5 workload.
+* ``ablation_costmodel`` — sensitivity of the SAIs advantage to the M/P
+  ratio and the NIC bandwidth: the paper's claim is that the advantage
+  needs both M >> P and network headroom.
+* ``ablation_migration`` — unpin the processes and let them hop cores
+  while blocked: policy (i)'s wire hint goes stale, policy (ii)'s process
+  locator keeps up.  Quantifies the "rescheduling may occur during I/O
+  blocking" caveat of Sec. III.
+* ``ablation_write_path`` — the paper scopes the problem to reads
+  ("there is not a data locality issue associated with ... write
+  operations"); running the write workload under both policies verifies
+  that claim in the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster.simulation import compare_policies, run_experiment
+from ..config import ClusterConfig, CostModel, WorkloadConfig
+from ..units import MiB
+from .base import ExperimentResult, register_experiment
+from .grids import nic_config
+
+__all__ = ["run_ablation_policies", "run_ablation_costmodel"]
+
+_POLICIES = (
+    "irqbalance",
+    "round_robin",
+    "dedicated",
+    "least_loaded",
+    "source_aware",
+    "source_aware_process",
+)
+
+
+def _workload(scale: str) -> WorkloadConfig:
+    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[scale]
+    return WorkloadConfig(
+        n_processes=8, transfer_size=1 * MiB, file_size=file_size
+    )
+
+
+@register_experiment("ablation_policies")
+def run_ablation_policies(scale: str = "default") -> ExperimentResult:
+    """All registered scheduling policies on the Fig. 5 (48-server) point."""
+    config = ClusterConfig(
+        n_servers=48, client=nic_config(3), workload=_workload(scale)
+    )
+    results = {
+        policy: run_experiment(config.with_policy(policy))
+        for policy in _POLICIES
+    }
+    baseline_bw = results["irqbalance"].bandwidth
+    rows = tuple(
+        (
+            policy,
+            f"{metrics.bandwidth / MiB:.1f}",
+            f"{metrics.bandwidth / baseline_bw - 1:+.2%}",
+            f"{metrics.l2_miss_rate:.2%}",
+            f"{metrics.clients[0].interrupt_spread:.0%}",
+        )
+        for policy, metrics in results.items()
+    )
+    sa = results["source_aware"].bandwidth
+    sa_process = results["source_aware_process"].bandwidth
+    conventional_best = max(
+        results[p].bandwidth
+        for p in ("irqbalance", "round_robin", "dedicated", "least_loaded")
+    )
+    return ExperimentResult(
+        exp_id="ablation_policies",
+        title="Sec. III policies — bandwidth at 48 servers, 3-Gigabit NIC",
+        headers=(
+            "policy",
+            "MB/s",
+            "vs irqbalance",
+            "L2 miss rate",
+            "cores hit by IRQs",
+        ),
+        rows=rows,
+        paper={
+            # Sec. III: "the expected performance difference between the
+            # first two policies is trivial".
+            "policy_i_vs_ii_gap_pct_max": 2.0,
+            "source_aware_beats_conventional": 1.0,
+        },
+        measured={
+            "policy_i_vs_ii_gap_pct_max": abs(sa / sa_process - 1) * 100,
+            "source_aware_beats_conventional": (
+                1.0 if min(sa, sa_process) > conventional_best else 0.0
+            ),
+        },
+    )
+
+
+@register_experiment("ablation_migration")
+def run_ablation_migration(scale: str = "default") -> ExperimentResult:
+    """Policy (i) vs (ii) as migration-during-I/O becomes common."""
+    rows = []
+    gains = {}
+    for probability in (0.0, 0.1, 0.3, 0.6):
+        workload = dataclasses.replace(
+            _workload(scale), migrate_during_io=probability
+        )
+        config = ClusterConfig(
+            n_servers=16, client=nic_config(3), workload=workload
+        )
+        policy_i = run_experiment(config.with_policy("source_aware"))
+        policy_ii = run_experiment(config.with_policy("source_aware_process"))
+        gain = policy_ii.bandwidth / policy_i.bandwidth - 1
+        gains[probability] = gain
+        rows.append(
+            (
+                f"{probability:.0%}",
+                f"{policy_i.bandwidth / MiB:.1f}",
+                f"{policy_ii.bandwidth / MiB:.1f}",
+                f"{gain:+.2%}",
+                policy_i.migrations,
+                policy_ii.migrations,
+            )
+        )
+    return ExperimentResult(
+        exp_id="ablation_migration",
+        title="Sec. III — policy (i) vs (ii) under migration during blocking I/O",
+        headers=(
+            "P(migrate)",
+            "policy (i) MB/s",
+            "policy (ii) MB/s",
+            "(ii) gain",
+            "(i) strip migrations",
+            "(ii) strip migrations",
+        ),
+        rows=tuple(rows),
+        paper={
+            # "since the process migration rarely happens during a blocking
+            # I/O, the expected performance difference ... is trivial"
+            "gap_trivial_when_migration_rare_pct": 1.0,
+        },
+        measured={
+            "gap_trivial_when_migration_rare_pct": abs(gains[0.0]) * 100,
+            "gain_at_30pct_migration_pct": gains[0.3] * 100,
+            "gain_at_60pct_migration_pct": gains[0.6] * 100,
+        },
+        notes=(
+            "Policy (ii) carries zero strip migrations at any migration "
+            "rate because the locator always targets the process's "
+            "current core.",
+        ),
+    )
+
+
+@register_experiment("ablation_write_path")
+def run_ablation_write(scale: str = "default") -> ExperimentResult:
+    """The write workload under both policies: the paper's scoping claim."""
+    workload = dataclasses.replace(_workload(scale), operation="write")
+    rows = []
+    speedups = {}
+    for n_servers in (16, 48):
+        config = ClusterConfig(
+            n_servers=n_servers, client=nic_config(3), workload=workload
+        )
+        baseline = run_experiment(config.with_policy("irqbalance"))
+        treatment = run_experiment(config.with_policy("source_aware"))
+        speedup = treatment.bandwidth / baseline.bandwidth - 1
+        speedups[n_servers] = speedup
+        rows.append(
+            (
+                n_servers,
+                f"{baseline.bandwidth / MiB:.1f}",
+                f"{treatment.bandwidth / MiB:.1f}",
+                f"{speedup:+.2%}",
+                baseline.migrations,
+            )
+        )
+    return ExperimentResult(
+        exp_id="ablation_write_path",
+        title="Write path — interrupt scheduling cannot matter for writes",
+        headers=(
+            "servers",
+            "irqbalance MB/s",
+            "SAIs MB/s",
+            "speed-up",
+            "strip migrations",
+        ),
+        rows=tuple(rows),
+        paper={"write_speedup_pct": 0.0},
+        measured={
+            "write_speedup_pct": max(abs(s) for s in speedups.values()) * 100,
+        },
+        notes=(
+            "Only tiny acknowledgements interrupt the client on writes, so "
+            "no data-bearing strips ever migrate between caches.",
+        ),
+    )
+
+
+@register_experiment("ablation_stripsize")
+def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
+    """Sensitivity to the PVFS strip size (the paper fixes 64 KiB).
+
+    Larger strips mean fewer, bigger interrupts: per-strip fixed costs
+    amortize, but each migration holds the serialized fill path longer.
+    Because both the migration time M and the NIC inter-arrival scale
+    linearly with strip size, the *saturation structure* — and therefore
+    the SAIs advantage — is roughly strip-size-invariant, which is why
+    the paper could fix 64 KiB without loss of generality.
+    """
+    from ..units import KiB
+
+    rows = []
+    speedups = {}
+    for strip_size in (16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB):
+        config = ClusterConfig(
+            n_servers=32,
+            client=nic_config(3),
+            workload=_workload(scale),
+            strip_size=strip_size,
+        )
+        comparison = compare_policies(config)
+        speedups[strip_size] = comparison.bandwidth_speedup
+        rows.append(
+            (
+                f"{strip_size // KiB}K",
+                f"{comparison.baseline.bandwidth / MiB:.1f}",
+                f"{comparison.treatment.bandwidth / MiB:.1f}",
+                f"{comparison.bandwidth_speedup:+.2%}",
+                comparison.baseline.migrations,
+            )
+        )
+    from ..units import KiB as _KiB
+
+    client_bound = {
+        size: value for size, value in speedups.items() if size >= 32 * _KiB
+    }
+    return ExperimentResult(
+        exp_id="ablation_stripsize",
+        title="Ablation — SAIs advantage vs PVFS strip size (32 servers, 3 Gb)",
+        headers=("strip", "irqbalance MB/s", "SAIs MB/s", "speed-up", "migrations"),
+        rows=tuple(rows),
+        paper={
+            # Implicit in the paper's fixed 64 KiB: the conclusion should
+            # not hinge on the strip size (within the client-bound regime).
+            "speedup_positive_at_client_bound_sizes": 1.0,
+        },
+        measured={
+            "speedup_positive_at_client_bound_sizes": (
+                1.0 if all(s > 0.02 for s in client_bound.values()) else 0.0
+            ),
+            "speedup_spread_pct": (
+                max(client_bound.values()) - min(client_bound.values())
+            )
+            * 100,
+            "speedup_at_16k_pct": speedups[16 * _KiB] * 100,
+        },
+        notes=(
+            "At 16 KiB strips the 4x increase in per-strip server requests "
+            "makes the storage tier (positioning costs) the bottleneck and "
+            "the policies tie — the win needs the client to be the "
+            "contended side, consistent with the rest of the analysis.",
+        ),
+    )
+
+
+@register_experiment("ablation_costmodel")
+def run_ablation_costmodel(scale: str = "default") -> ExperimentResult:
+    """SAIs advantage vs the M/P ratio and the NIC bandwidth."""
+    workload = _workload(scale)
+    rows = []
+    speedups: dict[tuple[float, int], float] = {}
+    base = CostModel()
+    for c2c_scale, label in ((8.0, "M~P"), (2.0, "M=4P"), (1.0, "M=8P (default)")):
+        costs = dataclasses.replace(base, c2c_rate=base.c2c_rate * c2c_scale)
+        m_over_p = costs.strip_migration_time(65536) / costs.strip_processing_time(
+            65536
+        )
+        for gigabits in (1, 3):
+            config = ClusterConfig(
+                n_servers=48,
+                client=nic_config(gigabits),
+                workload=workload,
+                costs=costs,
+            )
+            baseline = run_experiment(config.with_policy("irqbalance"))
+            treatment = run_experiment(config.with_policy("source_aware"))
+            speedup = treatment.bandwidth / baseline.bandwidth - 1
+            speedups[(c2c_scale, gigabits)] = speedup
+            rows.append(
+                (
+                    label,
+                    f"{m_over_p:.1f}",
+                    f"{gigabits} Gb",
+                    f"{baseline.bandwidth / MiB:.1f}",
+                    f"{treatment.bandwidth / MiB:.1f}",
+                    f"{speedup:+.2%}",
+                )
+            )
+    return ExperimentResult(
+        exp_id="ablation_costmodel",
+        title="Ablation — SAIs advantage vs M/P ratio and NIC bandwidth",
+        headers=("cost model", "M/P", "NIC", "irqbalance MB/s", "SAIs MB/s", "speed-up"),
+        rows=tuple(rows),
+        paper={
+            # Sec. VI: effectiveness "depends on the assumption ... that
+            # the system has plenty of network bandwidth" and on M >> P.
+            "advantage_needs_m_much_greater_p": 1.0,
+            "advantage_needs_bandwidth": 1.0,
+        },
+        measured={
+            "advantage_needs_m_much_greater_p": (
+                1.0 if speedups[(1.0, 3)] > speedups[(8.0, 3)] + 0.02 else 0.0
+            ),
+            "advantage_needs_bandwidth": (
+                1.0 if speedups[(1.0, 3)] > speedups[(1.0, 1)] + 0.02 else 0.0
+            ),
+        },
+    )

@@ -1,0 +1,106 @@
+"""Experiment registry and the common result shape."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..errors import ConfigError
+from ..metrics.report import render_table
+
+__all__ = [
+    "ExperimentResult",
+    "register_experiment",
+    "get_experiment",
+    "run_experiment_by_id",
+    "all_experiment_ids",
+    "SCALES",
+]
+
+#: Run-length presets.  Simulated bandwidths are steady-state rates, so
+#: scaling the file sizes down changes noise, not shape (verified by
+#: tests/cluster/test_run_length_invariance.py).
+SCALES = ("quick", "default", "full")
+
+ExperimentFn = t.Callable[[str], "ExperimentResult"]
+
+_REGISTRY: dict[str, ExperimentFn] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentResult:
+    """What every experiment returns: a table plus headline comparisons."""
+
+    exp_id: str
+    title: str
+    #: Column names of ``rows``.
+    headers: tuple[str, ...]
+    #: The regenerated data series (the figure's points).
+    rows: tuple[tuple[t.Any, ...], ...]
+    #: Paper-reported headline values, keyed by a short name.
+    paper: dict[str, float]
+    #: Our measured equivalents, same keys.
+    measured: dict[str, float]
+    #: Free-form caveats (where our shape deviates and why).
+    notes: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, t.Any]:
+        """JSON-serializable form (CLI ``--json``, downstream tooling)."""
+        return {
+            "exp_id": self.exp_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "paper": dict(self.paper),
+            "measured": dict(self.measured),
+            "notes": list(self.notes),
+        }
+
+    def render(self) -> str:
+        """Human-readable table + headline comparison."""
+        lines = [render_table(self.headers, self.rows, title=self.title)]
+        if self.paper:
+            lines.append("")
+            lines.append("headline (paper vs measured):")
+            for key in self.paper:
+                measured = self.measured.get(key, float("nan"))
+                lines.append(f"  {key}: paper={self.paper[key]:g}  measured={measured:g}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def register_experiment(
+    exp_id: str,
+) -> t.Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator registering ``fn(scale) -> ExperimentResult`` under an id."""
+
+    def decorate(fn: ExperimentFn) -> ExperimentFn:
+        if exp_id in _REGISTRY:
+            raise ConfigError(f"experiment {exp_id!r} already registered")
+        _REGISTRY[exp_id] = fn
+        return fn
+
+    return decorate
+
+
+def get_experiment(exp_id: str) -> ExperimentFn:
+    """Look an experiment up by id."""
+    try:
+        return _REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown experiment {exp_id!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def run_experiment_by_id(exp_id: str, scale: str = "default") -> ExperimentResult:
+    """Run one experiment at the given scale."""
+    if scale not in SCALES:
+        raise ConfigError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return get_experiment(exp_id)(scale)
+
+
+def all_experiment_ids() -> list[str]:
+    """Sorted ids of every registered experiment."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,123 @@
+"""Extensions — how real-world receive/workload mechanisms interact
+with source-aware scheduling.
+
+* ``extension_napi`` — Linux NAPI (adaptive interrupt coalescing)
+  batches packet processing on the polling core; batching partially
+  concentrates the baseline's handling and competes with per-packet
+  steering.  The question: does the SAIs win survive NAPI?
+* ``extension_collective`` — MPI-IO collective transfers synchronize
+  the IOR processes per iteration; the NIC idles during the collective
+  merge/compute phase, moving the system away from the saturation point
+  the SAIs win depends on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cluster.simulation import compare_policies
+from ..config import ClientConfig, ClusterConfig, WorkloadConfig
+from ..units import MiB
+from .base import ExperimentResult, register_experiment
+
+__all__ = ["run_napi", "run_collective"]
+
+
+def _workload(scale: str) -> WorkloadConfig:
+    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[scale]
+    return WorkloadConfig(
+        n_processes=8, transfer_size=1 * MiB, file_size=file_size
+    )
+
+
+@register_experiment("extension_napi")
+def run_napi(scale: str = "default") -> ExperimentResult:
+    """SAIs vs irqbalance with and without NAPI coalescing."""
+    rows = []
+    speedups = {}
+    for napi in (False, True):
+        config = ClusterConfig(
+            n_servers=32,
+            client=ClientConfig(nic_ports=3, napi=napi),
+            workload=_workload(scale),
+        )
+        comparison = compare_policies(config)
+        speedups[napi] = comparison.bandwidth_speedup
+        rows.append(
+            (
+                "NAPI" if napi else "per-strip IRQ",
+                f"{comparison.baseline.bandwidth / MiB:.1f}",
+                f"{comparison.treatment.bandwidth / MiB:.1f}",
+                f"{comparison.bandwidth_speedup:+.2%}",
+            )
+        )
+    return ExperimentResult(
+        exp_id="extension_napi",
+        title="Extension — SAIs advantage with NAPI adaptive coalescing",
+        headers=("rx mode", "irqbalance MB/s", "SAIs MB/s", "speed-up"),
+        rows=tuple(rows),
+        paper={
+            # Qualitative expectation: batching helps the baseline a
+            # little but cannot substitute for source-aware placement.
+            "win_survives_napi": 1.0,
+        },
+        measured={
+            "win_survives_napi": 1.0 if speedups[True] > 0.05 else 0.0,
+            "speedup_without_napi_pct": speedups[False] * 100,
+            "speedup_with_napi_pct": speedups[True] * 100,
+        },
+        notes=(
+            "NAPI concentrates each poll's packets on one core, which "
+            "shaves a little off the baseline's scatter — but the "
+            "consumer-side migrations remain, so the win persists.",
+        ),
+    )
+
+
+@register_experiment("extension_collective")
+def run_collective(scale: str = "default") -> ExperimentResult:
+    """Independent vs collective MPI-IO transfers under both policies."""
+    rows = []
+    results = {}
+    for collective in (False, True):
+        workload = dataclasses.replace(_workload(scale), collective=collective)
+        config = ClusterConfig(
+            n_servers=32,
+            client=ClientConfig(nic_ports=3),
+            workload=workload,
+        )
+        comparison = compare_policies(config)
+        results[collective] = comparison
+        rows.append(
+            (
+                "collective" if collective else "independent",
+                f"{comparison.baseline.bandwidth / MiB:.1f}",
+                f"{comparison.treatment.bandwidth / MiB:.1f}",
+                f"{comparison.bandwidth_speedup:+.2%}",
+            )
+        )
+    return ExperimentResult(
+        exp_id="extension_collective",
+        title="Extension — independent vs collective MPI-IO transfers",
+        headers=("I/O mode", "irqbalance MB/s", "SAIs MB/s", "speed-up"),
+        rows=tuple(rows),
+        paper={
+            # Barrier idle time is policy-independent; both absolute
+            # bandwidths drop, the win shrinks but stays positive.
+            "collective_costs_bandwidth": 1.0,
+            "win_survives_collective": 1.0,
+        },
+        measured={
+            "collective_costs_bandwidth": (
+                1.0
+                if results[True].treatment.bandwidth
+                < results[False].treatment.bandwidth
+                else 0.0
+            ),
+            "win_survives_collective": (
+                1.0 if results[True].bandwidth_speedup > 0.03 else 0.0
+            ),
+            "independent_speedup_pct": results[False].bandwidth_speedup * 100,
+            "collective_speedup_pct": results[True].bandwidth_speedup * 100,
+        },
+    )

@@ -1,0 +1,105 @@
+"""The interrupt routing fabric: I/O APIC and per-core local APICs.
+
+On the paper's x86 testbed the I/O APIC receives device interrupts and
+routes them to local APICs according to its redirection table; interrupt
+scheduling schemes (irqbalance, SAIs' ``IMComposer``) differ only in *which
+destination core* ends up in the interrupt message.  We model exactly that
+seam: the :class:`IoApic` consults a pluggable policy object for every
+interrupt and delivers an :class:`InterruptContext` to the chosen core's
+:class:`LocalApic`, which hands it to the kernel's softirq layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..des import Environment
+from ..des.monitor import Counter
+from ..errors import SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.policy import InterruptSchedulingPolicy
+    from .core import Core
+
+__all__ = ["InterruptContext", "LocalApic", "IoApic"]
+
+
+@dataclasses.dataclass
+class InterruptContext:
+    """Everything the interrupt path knows when an interrupt is raised.
+
+    ``aff_core_id`` is only non-None when the NIC driver's ``SrcParser``
+    extracted a source-aware hint from the packet's IP options — i.e. when
+    both ends run SAIs.  Policies that ignore it (round-robin, irqbalance)
+    reproduce conventional behaviour.
+    """
+
+    #: The network packet (repro.net.packet.Packet) that caused the IRQ.
+    packet: t.Any
+    #: Parsed affinitive core id, if the driver found one.
+    aff_core_id: int | None = None
+    #: Core the requesting process was running on when the request was
+    #: issued (used by oracle/ablation policies, not available to real
+    #: hardware without SAIs' hint).
+    request_core: int | None = None
+    #: When set, this is a NAPI poll request: the handling core should
+    #: drain the NIC's pending queue (via ``napi_poll``) rather than
+    #: process only ``packet``.  ``packet`` is the train head that
+    #: triggered the interrupt (and what hint-based policies route by).
+    napi_source: t.Any | None = None
+
+
+class LocalApic:
+    """Per-core interrupt sink: counts deliveries and invokes the kernel."""
+
+    def __init__(self, env: Environment, core_index: int) -> None:
+        self.env = env
+        self.core_index = core_index
+        self.interrupts = Counter(f"lapic{core_index}_interrupts")
+        self._handler: t.Callable[[InterruptContext], None] | None = None
+
+    def install_handler(self, handler: t.Callable[[InterruptContext], None]) -> None:
+        """The kernel installs its IRQ entry point here."""
+        self._handler = handler
+
+    def deliver(self, ctx: InterruptContext) -> None:
+        """Accept an interrupt message from the I/O APIC."""
+        if self._handler is None:
+            raise SimulationError(
+                f"no interrupt handler installed on core {self.core_index}"
+            )
+        self.interrupts.add()
+        self._handler(ctx)
+
+
+class IoApic:
+    """Routes device interrupts to local APICs via a scheduling policy."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: t.Sequence["Core"],
+        policy: "InterruptSchedulingPolicy",
+    ) -> None:
+        if not cores:
+            raise SimulationError("IoApic needs at least one core")
+        self.env = env
+        self.cores = list(cores)
+        self.policy = policy
+        self.local_apics = [LocalApic(env, core.index) for core in self.cores]
+        self.interrupts_raised = Counter("ioapic_interrupts")
+        #: Per-destination-core delivery histogram (policy diagnostics).
+        self.deliveries: list[int] = [0] * len(self.cores)
+        policy.bind(self)
+
+    def raise_interrupt(self, ctx: InterruptContext) -> None:
+        """Route one device interrupt according to the installed policy."""
+        core_index = self.policy.select_core(ctx, self.cores)
+        if not 0 <= core_index < len(self.cores):
+            raise SimulationError(
+                f"policy {self.policy.name!r} chose invalid core {core_index}"
+            )
+        self.interrupts_raised.add()
+        self.deliveries[core_index] += 1
+        self.local_apics[core_index].deliver(ctx)

@@ -1,0 +1,75 @@
+"""A storage device: positioning cost plus streaming transfer.
+
+Used by the PVFS I/O servers (7.2K-RPM SATA in the paper's compute nodes).
+Requests serialize FIFO on the spindle.  Page-cache behaviour lives in the
+server model (:mod:`repro.pfs.server`), not here — the disk itself is purely
+mechanical.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from ..des import Environment, Resource
+from ..des.monitor import Counter
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """FIFO spindle with seek + streaming-rate service."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rate: float,
+        seek: float,
+        rng: np.random.Generator | None = None,
+        seek_jitter: float = 0.25,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if seek < 0:
+            raise ValueError(f"seek must be non-negative, got {seek}")
+        self.env = env
+        self.rate = rate
+        self.seek = seek
+        self.seek_jitter = seek_jitter
+        self._rng = rng
+        self._spindle = Resource(env, capacity=1)
+        self.bytes_read = Counter("disk_bytes")
+        self.bytes_written = Counter("disk_bytes_written")
+        self.requests = Counter("disk_requests")
+
+    def _seek_time(self) -> float:
+        if self.seek == 0.0:
+            return 0.0
+        if self._rng is None or self.seek_jitter == 0.0:
+            return self.seek
+        # Mild multiplicative jitter around the nominal positioning cost;
+        # keeps repeated A/B runs paired (same rng stream -> same draws).
+        factor = 1.0 + self.seek_jitter * (2.0 * float(self._rng.random()) - 1.0)
+        return self.seek * factor
+
+    def read(self, nbytes: int, sequential: bool = False) -> t.Generator:
+        """Read ``nbytes``; blocks the calling process until data is off
+        the platter.  ``sequential`` skips the positioning cost (the head
+        is already there)."""
+        with self._spindle.request() as req:
+            yield req
+            seek = 0.0 if sequential else self._seek_time()
+            yield self.env.timeout(seek + nbytes / self.rate)
+        self.bytes_read.add(nbytes)
+        self.requests.add()
+
+    def write(self, nbytes: int, sequential: bool = False) -> t.Generator:
+        """Write ``nbytes``; mechanically identical to a read at this level
+        (positioning + streaming), tracked separately."""
+        with self._spindle.request() as req:
+            yield req
+            seek = 0.0 if sequential else self._seek_time()
+            yield self.env.timeout(seek + nbytes / self.rate)
+        self.bytes_written.add(nbytes)
+        self.requests.add()

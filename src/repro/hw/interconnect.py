@@ -1,0 +1,107 @@
+"""The inter-core interconnect: the serialized strip-migration path.
+
+The paper's quantitative analysis rests on the observation that *"in most
+CPU design, only one strip migration can happen at any time"* (Sec. III-A),
+i.e. cache-to-cache transfers between private caches serialize on the
+coherent interconnect.  This is the mechanism that makes balanced interrupt
+scheduling pay ``TM = M x #migrations`` while source-aware scheduling pays
+none, and it is why the advantage grows with the number of I/O servers
+(more concurrent arrivals -> deeper migration queue).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import CostModel
+from ..des import Environment, Resource
+from ..des.monitor import Counter, TimeWeighted
+
+__all__ = ["InterconnectBus"]
+
+
+class InterconnectBus:
+    """Unit-capacity FIFO bus carrying cache-to-cache strip transfers."""
+
+    def __init__(self, env: Environment, costs: CostModel) -> None:
+        self.env = env
+        self.costs = costs
+        self._bus = Resource(env, capacity=1)
+        #: Number of strip migrations carried.
+        self.migrations = Counter("migrations")
+        #: Bytes moved cache-to-cache.
+        self.bytes_moved = Counter("migration_bytes")
+        #: Time transfers spent *waiting* for the bus (queueing) — the
+        #: contention signal that grows with server count.
+        self.wait_time = Counter("migration_wait")
+        #: Instantaneous queue depth (for diagnostics).
+        self.queue_depth = TimeWeighted(env, 0.0)
+        self._busy_total = 0.0
+
+    def acquire(self):
+        """Request the bus (context-managed).  Queueing happens here.
+
+        The waiting consumer is de-scheduled while queued (its stall
+        overlaps other cores' transfers), so queue wait is *not* busy
+        time; only the granted transfer (``transfer_locked``) stalls the
+        core.  Callers should pair this with
+        :meth:`Core.run_while`::
+
+            with bus.acquire() as grant:
+                yield grant
+                yield from core.run_while(bus.transfer_locked(n), "migration")
+        """
+        self.queue_depth.add(1.0)
+        return _TrackedRequest(self)
+
+    def transfer_locked(self, nbytes: int, rate: float | None = None) -> t.Generator:
+        """Carry one strip while already holding the bus.
+
+        With the default ``rate`` the duration is the paper's
+        ``M = c2c_latency + nbytes / c2c_rate`` (a dirty cache-to-cache
+        strip).  A caller may pass a different per-line demand-miss rate —
+        e.g. refetching an evicted strip from DRAM — but the transfer
+        still serializes on this bus: it is the same per-socket coherence/
+        fill path, which is exactly the paper's "only one strip migration
+        can happen at any time".
+        """
+        if rate is None:
+            duration = self.costs.strip_migration_time(nbytes)
+        else:
+            duration = self.costs.c2c_latency + nbytes / rate
+        yield self.env.timeout(duration)
+        self._busy_total += duration
+        self.migrations.add()
+        self.bytes_moved.add(nbytes)
+
+    def transfer(self, nbytes: int, rate: float | None = None) -> t.Generator:
+        """Acquire + carry in one call; the caller blocks for both phases."""
+        with self.acquire() as grant:
+            yield grant
+            yield from self.transfer_locked(nbytes, rate)
+
+    @property
+    def total_busy_time(self) -> float:
+        """Seconds of pure transfer time carried so far (excludes waits)."""
+        return self._busy_total
+
+
+class _TrackedRequest:
+    """Context manager pairing a bus grant with queue-depth/wait tracking."""
+
+    def __init__(self, bus: "InterconnectBus") -> None:
+        self._bus = bus
+        started = bus.env.now
+        self._request = bus._bus.request()
+        callbacks = self._request.callbacks
+        if callbacks is not None:
+            callbacks.append(
+                lambda _ev: bus.wait_time.add(bus.env.now - started)
+            )
+
+    def __enter__(self):
+        return self._request.__enter__()
+
+    def __exit__(self, *exc_info: t.Any) -> None:
+        self._bus.queue_depth.add(-1.0)
+        self._request.__exit__(*exc_info)

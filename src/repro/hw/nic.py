@@ -1,0 +1,154 @@
+"""The client NIC: receive serialization, coalescing and the driver hook.
+
+Wire behaviour: all inbound packets serialize through the (bonded) link at
+the aggregate port bandwidth — this is what makes the 1-Gigabit
+configuration interrupt-sparse and the 3-Gigabit configuration
+interrupt-dense, which in turn controls how much migration queueing the
+balanced policies suffer.
+
+Driver behaviour: after a packet is fully received, the driver hook runs.
+With SAIs installed, the hook is ``SrcParser.parse`` — it reads the IP
+options field and extracts ``aff_core_id`` *before the interrupt message is
+composed* (paper Sec. IV-B, steps 4-5).  The NIC then asks the I/O APIC to
+raise the interrupt with that context.
+
+Interrupt coalescing: PVFS data strips arrive as trains of MTU frames.  By
+default the model raises one interrupt per strip train (the paper's
+accounting); with ``NetworkConfig.mss`` set each segment interrupts
+separately; and with ``napi=True`` the NIC runs Linux-NAPI style —
+interrupts are disabled while a poll is in progress and the polling core
+drains up to ``napi_budget`` pending packets per interrupt, which batches
+under load and (deliberately) fights per-packet source-aware steering.
+"""
+
+from __future__ import annotations
+
+import typing as t
+from collections import deque
+
+from ..des import Environment, Resource
+from ..des.monitor import Counter
+from .apic import InterruptContext, IoApic
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.packet import Packet
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """Receive path of the client's (possibly bonded) NIC."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        ioapic: IoApic,
+        framing_overhead: float = 0.0,
+        driver_hook: t.Callable[["Packet"], int | None] | None = None,
+        composer: t.Callable[["Packet", int | None], InterruptContext] | None = None,
+        tracer: t.Any | None = None,
+        napi: bool = False,
+        napi_budget: int = 64,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.ioapic = ioapic
+        self.framing_overhead = framing_overhead
+        #: Driver-level parser (SAIs ``SrcParser``), or None for a stock
+        #: driver that composes interrupt messages without a hint.
+        self.driver_hook = driver_hook
+        #: Interrupt-message composer (SAIs ``IMComposer.compose``), or
+        #: None for the stock message format.
+        self.composer = composer
+        #: Optional per-strip lifecycle tracer.
+        self.tracer = tracer
+        #: NAPI mode: interrupts are disabled while a poll is in progress;
+        #: packets accumulate in :attr:`pending` and the polling core
+        #: drains up to ``napi_budget`` of them per interrupt.
+        self.napi = napi
+        if napi_budget < 1:
+            raise ValueError(f"napi_budget must be >= 1, got {napi_budget}")
+        self.napi_budget = napi_budget
+        self._pending: deque["Packet"] = deque()
+        self._irq_armed = True
+        self._wire = Resource(env, capacity=1)
+        self.bytes_received = Counter("nic_rx_bytes")
+        self.packets_received = Counter("nic_rx_packets")
+        self.interrupts_raised = Counter("nic_interrupts")
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialization time of ``nbytes`` of payload on the bonded link."""
+        return nbytes * (1.0 + self.framing_overhead) / self.bandwidth
+
+    def receive(self, packet: "Packet") -> t.Generator:
+        """Receive one packet off the wire, then raise its interrupt.
+
+        The caller (the network fabric) drives this as a process; it blocks
+        for queueing + serialization, mirroring store-and-forward delivery.
+        """
+        with self._wire.request() as req:
+            yield req
+            yield self.env.timeout(self.wire_time(packet.size))
+        self.bytes_received.add(packet.size)
+        self.packets_received.add()
+        if self.tracer is not None:
+            self.tracer.record(
+                packet.dst_client, packet.strip_id, "received", self.env.now
+            )
+        if self.napi:
+            self._pending.append(packet)
+            if self._irq_armed:
+                self._irq_armed = False
+                self._raise(packet, napi=True)
+        else:
+            self._raise(packet)
+
+    # -- NAPI poll interface (called by the handling softirq) ----------------
+
+    def napi_poll(self) -> "Packet | None":
+        """Next pending packet, or None (poll done, interrupts re-armed)."""
+        if self._pending:
+            return self._pending.popleft()
+        self._irq_armed = True
+        return None
+
+    def napi_reschedule(self) -> None:
+        """Budget exhausted with work left: raise a fresh poll interrupt."""
+        if not self._pending:  # drained in the meantime
+            self._irq_armed = True
+            return
+        self._raise(self._pending[0], napi=True)
+
+    @property
+    def pending_packets(self) -> int:
+        """Packets waiting for a NAPI poll."""
+        return len(self._pending)
+
+    def _raise(self, packet: "Packet", napi: bool = False) -> None:
+        aff_core_id: int | None = None
+        if self.driver_hook is not None:
+            aff_core_id = self.driver_hook(packet)
+        if self.composer is not None:
+            ctx = self.composer(packet, aff_core_id)
+        else:
+            ctx = InterruptContext(
+                packet=packet,
+                aff_core_id=aff_core_id,
+                request_core=getattr(packet, "request_core", None),
+            )
+        if napi:
+            ctx.napi_source = self
+        self.interrupts_raised.add()
+        self.ioapic.raise_interrupt(ctx)
+
+    @property
+    def utilization_time(self) -> float:
+        """Total wire-busy seconds so far."""
+        return (
+            self.bytes_received.value
+            * (1.0 + self.framing_overhead)
+            / self.bandwidth
+        )

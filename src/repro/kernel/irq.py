@@ -1,0 +1,31 @@
+"""IRQ entry wiring: local APICs to softirq daemons.
+
+The hardirq top half is modeled as free: it only enqueues the context for
+the softirq bottom half on the same core, which is where Linux does the
+real work (and where the paper's costs are charged).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..errors import SimulationError
+from ..hw.apic import IoApic
+from .softirq import SoftirqDaemon
+
+__all__ = ["wire_interrupts"]
+
+
+def wire_interrupts(ioapic: IoApic, daemons: t.Sequence[SoftirqDaemon]) -> None:
+    """Install each core's IRQ entry point into its local APIC."""
+    if len(daemons) != len(ioapic.local_apics):
+        raise SimulationError(
+            f"{len(daemons)} softirq daemons for {len(ioapic.local_apics)} cores"
+        )
+    for lapic, daemon in zip(ioapic.local_apics, daemons):
+        if lapic.core_index != daemon.core.index:
+            raise SimulationError(
+                f"daemon for core {daemon.core.index} wired to local APIC "
+                f"{lapic.core_index}"
+            )
+        lapic.install_handler(daemon.enqueue)

@@ -1,0 +1,111 @@
+"""Per-core softirq daemons: where interrupt protocol work actually runs.
+
+Each core has one daemon draining its interrupt queue.  For every strip
+interrupt the daemon
+
+1. occupies its core at softirq priority for ``P`` (the paper's strip
+   processing cost: protocol work proportional to the strip size plus a
+   fixed vector overhead),
+2. installs the strip into the core's private cache (this is the moment
+   the data becomes resident *somewhere*, and under balanced policies that
+   somewhere is usually the wrong core),
+3. notifies the PFS client, paying the inter-core wake-up cost when the
+   consumer lives elsewhere (paper Sec. IV-B step 6).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import CostModel
+from ..des import Environment, Store
+from ..des.monitor import Counter
+from ..hw.apic import InterruptContext
+from ..hw.cache import CacheSystem
+from ..hw.core import SOFTIRQ_PRIORITY, Core
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..pfs.client import PfsClient
+
+__all__ = ["SoftirqDaemon"]
+
+
+class SoftirqDaemon:
+    """One core's softirq thread."""
+
+    def __init__(
+        self,
+        env: Environment,
+        core: Core,
+        cache: CacheSystem,
+        costs: CostModel,
+        pfs: "PfsClient",
+    ) -> None:
+        self.env = env
+        self.core = core
+        self.cache = cache
+        self.costs = costs
+        self.pfs = pfs
+        self.queue: Store = Store(env)
+        self.handled = Counter(f"softirq{core.index}_handled")
+        self.bytes_handled = Counter(f"softirq{core.index}_bytes")
+        self._process = env.process(self._run())
+
+    def enqueue(self, ctx: InterruptContext) -> None:
+        """IRQ entry: push the context onto this core's pending queue."""
+        self.queue.put(ctx)
+
+    def _run(self) -> t.Generator:
+        while True:
+            ctx = yield self.queue.get()
+            yield from self._handle(ctx)
+
+    def _handle(self, ctx: InterruptContext) -> t.Generator:
+        if ctx.napi_source is None:
+            with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
+                yield req
+                yield from self._process_packet(ctx.packet)
+            return
+        # NAPI poll: drain the NIC's pending queue on this core, up to
+        # the poll budget, then either re-arm interrupts (drained) or
+        # reschedule a fresh poll (budget exhausted under load).
+        nic = ctx.napi_source
+        with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
+            yield req
+            budget = nic.napi_budget
+            while budget > 0:
+                packet = nic.napi_poll()
+                if packet is None:
+                    return  # queue drained; interrupts re-armed
+                yield from self._process_packet(packet)
+                budget -= 1
+        nic.napi_reschedule()
+
+    def _process_packet(self, packet) -> t.Generator:
+        """Protocol-process one packet while already holding the core."""
+        processing = self.costs.strip_processing_time(packet.size)
+        yield from self.core.run_locked(processing, "softirq")
+        outstanding = self.pfs.segment_arrived(packet, self.core.index)
+        if outstanding is not None:
+            # The strip is whole (single train, or last segment of a
+            # segmented flow).
+            if packet.carries_data:
+                # Protocol processing pulled the packet data through
+                # this core's cache: the strip is now resident *here*.
+                self.cache.install(self.core.index, packet.strip_id)
+            tracer = self.pfs.tracer
+            if tracer is not None:
+                tracer.record(
+                    packet.dst_client,
+                    packet.strip_id,
+                    "handled",
+                    self.env.now,
+                )
+            if outstanding.consumer_core != self.core.index:
+                # Cross-core wake-up IPI (paper: "inter-core signals
+                # are sent to wake the application process").
+                yield from self.core.run_locked(
+                    self.costs.wakeup_cost, "wakeup"
+                )
+        self.handled.add()
+        self.bytes_handled.add(packet.size)

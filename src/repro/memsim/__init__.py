@@ -1,0 +1,29 @@
+"""The Section VI cache-data-migration cost simulation (Fig. 13/14).
+
+The paper removes the NIC bottleneck by replaying the parallel-I/O data
+path entirely in memory: "I/O servers" are files on a RAM disk, and each
+application is a reader + combiner pair.
+
+* **Si-SAIs** — the pair is two *threads* sharing one core and address
+  space: the combiner finds the reader's strips cache-hot (the
+  source-aware data path);
+* **Si-Irqbalance** — the pair is two independent *processes* on separate
+  cores: every strip crosses address spaces through memory, paying extra
+  memory-bus traffic and cold-cache combining (the balanced data path).
+
+Sweeping the number of concurrent application pairs reproduces Fig. 14:
+Si-SAIs peaks far above Si-Irqbalance while the CPU still has headroom,
+and the two converge once every core is saturated.
+"""
+
+from .config import MemsimConfig
+from .experiment import MemsimMetrics, run_memsim_point, sweep_applications
+from .pair import AppPair
+
+__all__ = [
+    "MemsimConfig",
+    "AppPair",
+    "MemsimMetrics",
+    "run_memsim_point",
+    "sweep_applications",
+]

@@ -1,0 +1,43 @@
+"""Measurement collection and reporting.
+
+Implements the paper's four evaluation metrics (Sec. V):
+
+* **bandwidth** — bytes merged by the applications / makespan;
+* **L2 cache miss rate** — misses / accesses from the cache directory;
+* **CPU utilization** — busy time / (cores x makespan), like ``sar``;
+* **CPU_CLK_UNHALTED** — busy seconds x clock, like the Oprofile event.
+
+Beyond the paper's four metrics, :mod:`~repro.metrics.trace` records
+per-strip lifecycle timestamps, :mod:`~repro.metrics.sar` samples
+utilization over time the way ``sar`` does, and
+:mod:`~repro.metrics.ascii_plot` renders figure tables as terminal bars.
+"""
+
+from .ascii_plot import (
+    bar_chart,
+    core_heatmap,
+    grouped_bars,
+    heat_strip,
+    plot_result,
+)
+from .collectors import ClientMetrics, RunMetrics, collect_client_metrics
+from .report import render_table, speedup
+from .sar import SarSample, SarSampler
+from .trace import LatencyBreakdown, Tracer
+
+__all__ = [
+    "ClientMetrics",
+    "RunMetrics",
+    "collect_client_metrics",
+    "render_table",
+    "speedup",
+    "Tracer",
+    "LatencyBreakdown",
+    "SarSampler",
+    "SarSample",
+    "bar_chart",
+    "grouped_bars",
+    "plot_result",
+    "heat_strip",
+    "core_heatmap",
+]

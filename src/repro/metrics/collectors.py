@@ -1,0 +1,128 @@
+"""Metric dataclasses and collection from live cluster components."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..hw.cache import Location
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.client_node import ClientNode
+
+__all__ = ["ClientMetrics", "RunMetrics", "collect_client_metrics"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClientMetrics:
+    """Per-client-node measurements over one run."""
+
+    client_index: int
+    elapsed: float
+    bytes_read: int
+    #: Application-observed read bandwidth, bytes/s.
+    bandwidth: float
+    #: L2 miss rate = misses / accesses (Fig. 6/7 metric).
+    l2_miss_rate: float
+    #: Machine-wide busy fraction (Fig. 8/9 metric).
+    cpu_utilization: float
+    #: Total unhalted cycles across cores (Fig. 10/11 metric).
+    unhalted_cycles: float
+    #: Cache-to-cache strip migrations carried by the interconnect.
+    migrations: int
+    #: Seconds migrations spent queued for the serialized interconnect.
+    migration_wait: float
+    #: Strips refetched from DRAM after eviction.
+    memory_refetches: int
+    #: Consume-location histogram {"local": n, "remote": n, ...}.
+    consume_locations: dict[str, int]
+    #: Interrupts delivered per core (policy scatter diagnostics).
+    interrupts_per_core: tuple[int, ...]
+    #: Per-core busy seconds by work category, summed over cores.
+    busy_by_category: dict[str, float]
+    #: Strips evicted from private caches.
+    evictions: int
+
+    @property
+    def interrupt_spread(self) -> float:
+        """Fraction of cores that handled at least one interrupt."""
+        if not self.interrupts_per_core:
+            return 0.0
+        hit = sum(1 for n in self.interrupts_per_core if n > 0)
+        return hit / len(self.interrupts_per_core)
+
+
+@dataclasses.dataclass(frozen=True)
+class RunMetrics:
+    """Whole-experiment measurements (aggregates over all client nodes)."""
+
+    policy: str
+    elapsed: float
+    clients: tuple[ClientMetrics, ...]
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(c.bytes_read for c in self.clients)
+
+    @property
+    def bandwidth(self) -> float:
+        """Aggregate bandwidth over all clients (paper Fig. 12 sums them)."""
+        return sum(c.bandwidth for c in self.clients)
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """Access-weighted mean is unavailable post-hoc; clients are
+        homogeneous so the plain mean is the right summary."""
+        if not self.clients:
+            return 0.0
+        return sum(c.l2_miss_rate for c in self.clients) / len(self.clients)
+
+    @property
+    def cpu_utilization(self) -> float:
+        if not self.clients:
+            return 0.0
+        return sum(c.cpu_utilization for c in self.clients) / len(self.clients)
+
+    @property
+    def unhalted_cycles(self) -> float:
+        return sum(c.unhalted_cycles for c in self.clients)
+
+    @property
+    def migrations(self) -> int:
+        return sum(c.migrations for c in self.clients)
+
+
+def collect_client_metrics(
+    node: "ClientNode", elapsed: float, bytes_read: int
+) -> ClientMetrics:
+    """Snapshot one client node's counters after a run."""
+    busy_by: dict[str, float] = {}
+    for core in node.cores:
+        for category, seconds in core.busy_by_category.items():
+            busy_by[category] = busy_by.get(category, 0.0) + seconds
+    total_busy = sum(core.busy_time for core in node.cores)
+    utilization = (
+        total_busy / (len(node.cores) * elapsed) if elapsed > 0 else 0.0
+    )
+    return ClientMetrics(
+        client_index=node.index,
+        elapsed=elapsed,
+        bytes_read=bytes_read,
+        bandwidth=bytes_read / elapsed if elapsed > 0 else 0.0,
+        l2_miss_rate=node.cache.miss_rate(),
+        cpu_utilization=utilization,
+        unhalted_cycles=sum(core.unhalted_cycles() for core in node.cores),
+        migrations=int(node.interconnect.migrations.value),
+        migration_wait=node.interconnect.wait_time.value,
+        memory_refetches=int(
+            node.cache.consume_by_location[Location.MEMORY].value
+            + node.cache.consume_by_location[Location.ABSENT].value
+        ),
+        consume_locations={
+            loc.value: int(counter.value)
+            for loc, counter in node.cache.consume_by_location.items()
+        },
+        interrupts_per_core=tuple(node.ioapic.deliveries),
+        busy_by_category=busy_by,
+        evictions=int(node.cache.evictions.value),
+    )

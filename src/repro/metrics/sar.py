@@ -1,0 +1,107 @@
+"""A ``sar``-style periodic utilization sampler.
+
+The paper measures CPU utilization with the Linux ``sar`` tool — a
+fixed-interval sampler over /proc counters.  :class:`SarSampler` does the
+same over the simulated cores: every ``interval`` of virtual time it
+records the busy fraction of the machine (and of each core) since the
+previous sample, giving a utilization *time series* rather than a single
+run-wide mean.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing as t
+
+from ..des import Environment
+from ..errors import ConfigError, SimulationError
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hw.core import Core
+
+__all__ = ["SarSample", "SarSampler"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SarSample:
+    """One sampling interval's utilization."""
+
+    #: End time of the interval.
+    time: float
+    #: Machine-wide busy fraction over the interval.
+    utilization: float
+    #: Per-core busy fraction over the interval.
+    per_core: tuple[float, ...]
+
+
+class SarSampler:
+    """Samples core busy-time deltas at a fixed virtual-time cadence."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: t.Sequence["Core"],
+        interval: float = 10e-3,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError(f"interval must be positive, got {interval}")
+        if not cores:
+            raise ConfigError("need at least one core to sample")
+        self.env = env
+        self.cores = list(cores)
+        self.interval = interval
+        self.samples: list[SarSample] = []
+        self._previous = [core.busy_time for core in self.cores]
+        self._process = env.process(self._run())
+
+    def _run(self) -> t.Generator:
+        while True:
+            yield self.env.timeout(self.interval)
+            current = [core.busy_time for core in self.cores]
+            per_core = tuple(
+                min(1.0, (now - before) / self.interval)
+                for now, before in zip(current, self._previous)
+            )
+            self._previous = current
+            self.samples.append(
+                SarSample(
+                    time=self.env.now,
+                    utilization=sum(per_core) / len(per_core),
+                    per_core=per_core,
+                )
+            )
+
+    # -- summaries ---------------------------------------------------------
+
+    def mean_utilization(self) -> float:
+        """Mean of the per-interval machine utilization."""
+        self._require_samples()
+        return statistics.fmean(s.utilization for s in self.samples)
+
+    def peak_utilization(self) -> float:
+        """Highest single-interval machine utilization."""
+        self._require_samples()
+        return max(s.utilization for s in self.samples)
+
+    def utilization_stdev(self) -> float:
+        """Spread of the per-interval utilization (burstiness signal)."""
+        self._require_samples()
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(s.utilization for s in self.samples)
+
+    def core_imbalance(self) -> float:
+        """Mean per-interval spread between busiest and idlest core.
+
+        Dedicated-core scheduling maximizes this; perfect balancing
+        minimizes it.
+        """
+        self._require_samples()
+        return statistics.fmean(
+            max(s.per_core) - min(s.per_core) for s in self.samples
+        )
+
+    def _require_samples(self) -> None:
+        if not self.samples:
+            raise SimulationError("no samples collected yet")

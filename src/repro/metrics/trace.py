@@ -1,0 +1,121 @@
+"""Per-strip lifecycle tracing.
+
+When enabled (``ClusterConfig(trace=True)``), every strip records a
+timestamp at each pipeline stage::
+
+    issued  -> the client fanned the strip request out
+    served  -> the I/O server finished storage access (starts transmit)
+    received-> the strip's packet cleared the client NIC wire
+    handled -> the softirq finished protocol processing
+    merged  -> the consumer copied the strip into the request buffer
+
+The stage-to-stage deltas decompose the paper's eq. (1): ``TR`` is
+(issued..received), ``TP`` is (received..handled) and the merge delta
+carries ``TM`` — which is where the two scheduling policies differ.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing as t
+
+from ..errors import SimulationError
+
+__all__ = ["Tracer", "StageDelta", "LatencyBreakdown", "STAGES"]
+
+#: Pipeline stages in order.
+STAGES = ("issued", "served", "received", "handled", "merged")
+
+
+@dataclasses.dataclass(frozen=True)
+class StageDelta:
+    """Summary of one stage-to-stage latency across all traced strips."""
+
+    from_stage: str
+    to_stage: str
+    count: int
+    mean: float
+    p95: float
+    maximum: float
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBreakdown:
+    """Per-stage latency decomposition of the strip pipeline."""
+
+    deltas: tuple[StageDelta, ...]
+    strips_traced: int
+
+    def mean_of(self, from_stage: str, to_stage: str) -> float:
+        """Mean latency between two adjacent stages."""
+        for delta in self.deltas:
+            if delta.from_stage == from_stage and delta.to_stage == to_stage:
+                return delta.mean
+        raise SimulationError(f"no delta {from_stage}->{to_stage} traced")
+
+    @property
+    def mean_total(self) -> float:
+        """Mean issued-to-merged latency."""
+        return sum(delta.mean for delta in self.deltas)
+
+
+class Tracer:
+    """Collects per-strip stage timestamps (cheap dict writes)."""
+
+    def __init__(self) -> None:
+        self._records: dict[tuple[int, int], dict[str, float]] = {}
+        #: Free-form labels (e.g. the consume location) per strip.
+        self.labels: dict[tuple[int, int], str] = {}
+
+    def record(
+        self, client: int, token: int, stage: str, time: float
+    ) -> None:
+        """Timestamp ``stage`` for strip ``token`` of ``client``."""
+        if stage not in STAGES:
+            raise SimulationError(f"unknown trace stage {stage!r}")
+        self._records.setdefault((client, token), {})[stage] = time
+
+    def label(self, client: int, token: int, text: str) -> None:
+        """Attach a label (e.g. 'remote') to a strip."""
+        self.labels[(client, token)] = text
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def complete_strips(self) -> int:
+        """Strips that passed through every stage."""
+        return sum(
+            1
+            for stages in self._records.values()
+            if all(stage in stages for stage in STAGES)
+        )
+
+    def breakdown(self) -> LatencyBreakdown:
+        """Aggregate stage-to-stage latencies over fully-traced strips."""
+        series: dict[tuple[str, str], list[float]] = {
+            (a, b): [] for a, b in zip(STAGES, STAGES[1:])
+        }
+        complete = 0
+        for stages in self._records.values():
+            if not all(stage in stages for stage in STAGES):
+                continue
+            complete += 1
+            for a, b in zip(STAGES, STAGES[1:]):
+                series[(a, b)].append(stages[b] - stages[a])
+        if complete == 0:
+            raise SimulationError("no fully-traced strips to summarize")
+        deltas = []
+        for (a, b), values in series.items():
+            values.sort()
+            deltas.append(
+                StageDelta(
+                    from_stage=a,
+                    to_stage=b,
+                    count=len(values),
+                    mean=statistics.fmean(values),
+                    p95=values[min(len(values) - 1, int(0.95 * len(values)))],
+                    maximum=values[-1],
+                )
+            )
+        return LatencyBreakdown(deltas=tuple(deltas), strips_traced=complete)

@@ -1,0 +1,111 @@
+"""The SAIs ``aff_core_id`` IP-option encoding (paper Fig. 4).
+
+SAIs avoids touching the transport protocol by hiding the affinitive core
+id in the IP header *options* field (RFC 791 §3.1).  The paper uses the
+single-octet "simple option" form::
+
+      bit 7      bits 6-5        bits 4-0
+    +--------+--------------+----------------+
+    | copied | option class | option number  |
+    |   1    |      1       |  aff_core_id   |
+    +--------+--------------+----------------+
+
+followed by an End-of-Option-List octet (EOL, 0x00).  Both the copied flag
+and the 2-bit option class are set to 1 per the paper.  Because only 5 bits
+remain for the option number, **at most 2^5 = 32 cores can be identified**
+— a real constraint of the design that this module enforces
+(:class:`~repro.errors.CoreIdOutOfRangeError`).
+
+RFC 791 requires the options area to pad the header to a 32-bit boundary,
+so the encoded field is 4 octets: option, EOL, and two zero pad octets.
+"""
+
+from __future__ import annotations
+
+from ..errors import CoreIdOutOfRangeError, ProtocolError
+
+__all__ = [
+    "MAX_ENCODABLE_CORES",
+    "SAIS_COPIED_FLAG",
+    "SAIS_OPTION_CLASS",
+    "EOL",
+    "encode_aff_core_id",
+    "decode_aff_core_id",
+    "option_byte",
+]
+
+#: 5-bit option number field => SAIs can address at most this many cores.
+MAX_ENCODABLE_CORES = 32
+
+#: The paper sets the copied flag to 1 (option copied into all fragments).
+SAIS_COPIED_FLAG = 1
+#: ... and the option class to 1.
+SAIS_OPTION_CLASS = 1
+#: End of Option List octet.
+EOL = 0x00
+
+_COPIED_SHIFT = 7
+_CLASS_SHIFT = 5
+_NUMBER_MASK = 0b0001_1111
+_CLASS_MASK = 0b0110_0000
+_COPIED_MASK = 0b1000_0000
+
+
+def option_byte(aff_core_id: int) -> int:
+    """The single SAIs option octet for ``aff_core_id``."""
+    if not isinstance(aff_core_id, int) or isinstance(aff_core_id, bool):
+        raise ProtocolError(f"aff_core_id must be an int, got {aff_core_id!r}")
+    if not 0 <= aff_core_id < MAX_ENCODABLE_CORES:
+        raise CoreIdOutOfRangeError(
+            f"aff_core_id {aff_core_id} does not fit the 5-bit option number "
+            f"field (valid range 0..{MAX_ENCODABLE_CORES - 1}); SAIs cannot "
+            f"identify more than {MAX_ENCODABLE_CORES} cores"
+        )
+    return (
+        (SAIS_COPIED_FLAG << _COPIED_SHIFT)
+        | (SAIS_OPTION_CLASS << _CLASS_SHIFT)
+        | aff_core_id
+    )
+
+
+def encode_aff_core_id(aff_core_id: int) -> bytes:
+    """Encode ``aff_core_id`` as a 4-octet IP options field.
+
+    Layout: ``[sais_option, EOL, pad, pad]`` — padded to the 32-bit
+    boundary RFC 791 requires for the IP header length.
+
+    >>> encode_aff_core_id(5).hex()
+    'a5000000'
+    """
+    return bytes([option_byte(aff_core_id), EOL, 0x00, 0x00])
+
+
+def decode_aff_core_id(options: bytes) -> int | None:
+    """Extract the ``aff_core_id`` from an IP options field.
+
+    Returns ``None`` if the options field is empty or contains no SAIs
+    option (e.g. traffic from a server that does not run ``HintCapsuler``).
+    Raises :class:`~repro.errors.ProtocolError` on a malformed field.
+    This is what the NIC driver's ``SrcParser`` runs on every inbound
+    packet before the interrupt message is composed.
+    """
+    if not options:
+        return None
+    index = 0
+    while index < len(options):
+        octet = options[index]
+        if octet == EOL:
+            return None  # end of list without a SAIs option
+        copied = (octet & _COPIED_MASK) >> _COPIED_SHIFT
+        opt_class = (octet & _CLASS_MASK) >> _CLASS_SHIFT
+        if copied == SAIS_COPIED_FLAG and opt_class == SAIS_OPTION_CLASS:
+            return octet & _NUMBER_MASK
+        # Not ours: a No-Operation (1) single octet we can step over; any
+        # other multi-octet option would need a length we do not model.
+        if octet == 0x01:  # NOP
+            index += 1
+            continue
+        raise ProtocolError(
+            f"unrecognized IP option 0x{octet:02x} at offset {index}"
+        )
+    return None

@@ -1,0 +1,78 @@
+"""Point-to-point links with serialization and pipelined propagation.
+
+A :class:`Link` charges the sender for queueing + serialization time (the
+wire is a unit-capacity resource) and then delivers asynchronously after the
+propagation latency — so back-to-back packets pipeline, as on real Ethernet.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..des import Environment, Resource
+from ..des.monitor import Counter
+from .packet import Packet
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One direction of a network link."""
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        latency: float = 0.0,
+        framing_overhead: float = 0.0,
+        name: str = "link",
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.env = env
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.framing_overhead = framing_overhead
+        self.name = name
+        self._wire = Resource(env, capacity=1)
+        self.bytes_sent = Counter(f"{name}_bytes")
+        self.packets_sent = Counter(f"{name}_packets")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Wire time for ``nbytes`` of payload including framing."""
+        return nbytes * (1.0 + self.framing_overhead) / self.bandwidth
+
+    def transmit(
+        self,
+        packet: Packet,
+        deliver: t.Callable[[Packet], t.Any],
+    ) -> t.Generator:
+        """Send ``packet``; the caller blocks for queueing + serialization.
+
+        ``deliver`` is invoked (not awaited) once the packet lands after
+        the propagation latency; if it returns a generator it is spawned as
+        a new process, so delivery chains (e.g. into the next hop) compose.
+        """
+        with self._wire.request() as req:
+            yield req
+            yield self.env.timeout(self.serialization_time(packet.size))
+        self.bytes_sent.add(packet.size)
+        self.packets_sent.add()
+
+        def _arrive() -> t.Generator:
+            if self.latency > 0:
+                yield self.env.timeout(self.latency)
+            result = deliver(packet)
+            if result is not None and hasattr(result, "send"):
+                yield from result
+
+        self.env.process(_arrive())
+
+    @property
+    def busy_time(self) -> float:
+        """Total serialization seconds carried so far."""
+        return (
+            self.bytes_sent.value * (1.0 + self.framing_overhead) / self.bandwidth
+        )

@@ -1,0 +1,63 @@
+"""The cluster switch: a shared backplane between server and client links.
+
+The paper's Catalyst 4948 is effectively non-blocking at this port count,
+but modeling the backplane explicitly lets the ablation benches create an
+oversubscribed fabric and watch the SAIs advantage shrink as the network
+becomes the bottleneck (Sec. III's ``TR`` term).
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..des import Environment, Resource
+from ..des.monitor import Counter
+from .packet import Packet
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Store-and-forward fabric with a finite backplane bandwidth."""
+
+    def __init__(
+        self,
+        env: Environment,
+        backplane_bandwidth: float,
+        latency: float = 0.0,
+    ) -> None:
+        if backplane_bandwidth <= 0:
+            raise ValueError(
+                f"backplane_bandwidth must be positive, got {backplane_bandwidth}"
+            )
+        self.env = env
+        self.backplane_bandwidth = backplane_bandwidth
+        self.latency = latency
+        self._fabric = Resource(env, capacity=1)
+        self.bytes_switched = Counter("switch_bytes")
+        self.packets_switched = Counter("switch_packets")
+
+    def forward(
+        self,
+        packet: Packet,
+        deliver: t.Callable[[Packet], t.Any],
+    ) -> t.Generator:
+        """Carry ``packet`` across the backplane, then hand it to ``deliver``.
+
+        The caller blocks for backplane occupancy; delivery (plus the port
+        latency) is spawned asynchronously so flows pipeline through.
+        """
+        with self._fabric.request() as req:
+            yield req
+            yield self.env.timeout(packet.size / self.backplane_bandwidth)
+        self.bytes_switched.add(packet.size)
+        self.packets_switched.add()
+
+        def _arrive() -> t.Generator:
+            if self.latency > 0:
+                yield self.env.timeout(self.latency)
+            result = deliver(packet)
+            if result is not None and hasattr(result, "send"):
+                yield from result
+
+        self.env.process(_arrive())

@@ -1,0 +1,122 @@
+"""A minimal TCP abstraction: ordered per-connection streams + segmentation.
+
+PVFS transfers strips over one TCP connection per (client, server) pair.
+For interrupt accounting, what matters is (a) strips from one server arrive
+*in order*, and (b) a strip may be segmented into several MTU-sized trains,
+each of which raises its own (coalesced) interrupt.  Congestion control is
+not modeled: the experiments run on an uncongested dedicated switch where
+the windows stay open (the links' serialization already enforces the
+bandwidth ceilings).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+from collections import deque
+
+from ..errors import ProtocolError
+from .packet import Packet
+
+__all__ = ["segment_sizes", "TcpStream"]
+
+
+def segment_sizes(nbytes: int, mss: int) -> list[int]:
+    """Split ``nbytes`` into maximum-segment-size chunks.
+
+    >>> segment_sizes(10, 4)
+    [4, 4, 2]
+    """
+    if nbytes <= 0:
+        raise ProtocolError(f"nbytes must be positive, got {nbytes}")
+    if mss <= 0:
+        raise ProtocolError(f"mss must be positive, got {mss}")
+    full, rest = divmod(nbytes, mss)
+    sizes = [mss] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+@dataclasses.dataclass
+class _StripAssembly:
+    expected: int
+    received: set[int] = dataclasses.field(default_factory=set)
+
+
+class TcpStream:
+    """Per-connection ordered delivery and strip reassembly bookkeeping.
+
+    The sender pushes packets (segments) in order; :meth:`deliver` tells the
+    receiver whether a strip just completed.  Out-of-order arrival on one
+    stream is a protocol error — the links are FIFO, so seeing it means a
+    wiring bug in the fabric model.
+    """
+
+    def __init__(self, server: int, client: int) -> None:
+        self.server = server
+        self.client = client
+        self._next_seq = 0
+        self._in_flight: dict[int, _StripAssembly] = {}
+        self._completed: deque[int] = deque()
+
+    def next_sequence(self) -> int:
+        """Allocate the next segment sequence number for the sender."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def segments_for_strip(
+        self,
+        base: Packet,
+        mss: int | None,
+    ) -> list[Packet]:
+        """Explode a strip-sized packet into per-segment packets.
+
+        With ``mss=None`` the strip travels as a single coalesced train
+        (the default interrupt-per-strip accounting).
+        """
+        if mss is None or base.size <= mss:
+            return [dataclasses.replace(base, segment=0, n_segments=1)]
+        sizes = segment_sizes(base.size, mss)
+        return [
+            dataclasses.replace(
+                base, size=size, segment=i, n_segments=len(sizes)
+            )
+            for i, size in enumerate(sizes)
+        ]
+
+    def deliver(self, packet: Packet) -> bool:
+        """Record one received segment; returns True when its strip is whole."""
+        if packet.src_server != self.server or packet.dst_client != self.client:
+            raise ProtocolError(
+                f"packet for ({packet.src_server}->{packet.dst_client}) on "
+                f"stream ({self.server}->{self.client})"
+            )
+        assembly = self._in_flight.get(packet.strip_id)
+        if assembly is None:
+            assembly = _StripAssembly(expected=packet.n_segments)
+            self._in_flight[packet.strip_id] = assembly
+        elif assembly.expected != packet.n_segments:
+            raise ProtocolError(
+                f"inconsistent segmentation for strip {packet.strip_id}"
+            )
+        if packet.segment in assembly.received:
+            raise ProtocolError(
+                f"duplicate segment {packet.segment} for strip {packet.strip_id}"
+            )
+        assembly.received.add(packet.segment)
+        if len(assembly.received) == assembly.expected:
+            del self._in_flight[packet.strip_id]
+            self._completed.append(packet.strip_id)
+            return True
+        return False
+
+    @property
+    def strips_completed(self) -> int:
+        """Number of fully-reassembled strips so far."""
+        return len(self._completed)
+
+    def in_flight_strips(self) -> t.Iterable[int]:
+        """Strip ids with at least one but not all segments received."""
+        return self._in_flight.keys()

@@ -1,0 +1,219 @@
+"""The client-side PVFS library.
+
+``PfsClient`` fans one application read out into per-server strip requests
+(attaching the SAIs ``PVFS_hint`` when a ``HintMessager`` is installed),
+tracks the outstanding request, and hands arriving strips back to the
+consuming process through a per-request queue — the application merges
+strips *as they arrive*, which is how the real client's memcpy out of the
+socket buffer behaves and what creates the consumer-side migration stalls
+under balanced interrupt scheduling.
+
+Strip *tokens*: every in-flight strip gets a client-unique id, so that two
+processes reading overlapping file ranges do not alias each other's cache
+residency entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+from itertools import count
+
+from ..core.sais import HintMessager
+from ..des import Environment, Store
+from ..des.monitor import Counter
+from ..errors import SimulationError
+from ..net.tcp import TcpStream
+from .layout import StripeLayout
+from .request import IoRequest, StripRequest
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.packet import Packet
+
+__all__ = ["PfsClient", "OutstandingRequest", "ArrivedStrip"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivedStrip:
+    """What the softirq hands the consumer for each completed strip."""
+
+    token: int
+    size: int
+    #: Core that handled the strip's interrupt (where the data now sits).
+    handled_on: int
+
+
+@dataclasses.dataclass
+class OutstandingRequest:
+    """Book-keeping for one in-flight application read."""
+
+    request: IoRequest
+    #: Core the consuming process runs on (the SAIs target).
+    consumer_core: int
+    #: Number of strip extents the read decomposed into.
+    expected: int
+    #: Arrival queue the consumer blocks on.
+    arrivals: Store
+    issued_at: float
+    arrived: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """All strips have arrived (they may not all be merged yet)."""
+        return self.arrived >= self.expected
+
+
+class PfsClient:
+    """Client-side request fan-out and completion tracking."""
+
+    def __init__(
+        self,
+        env: Environment,
+        client_index: int,
+        layout: StripeLayout,
+        submit: t.Callable[[StripRequest], None],
+        hint_messager: HintMessager | None = None,
+        tracer: t.Any | None = None,
+    ) -> None:
+        self.env = env
+        self.client_index = client_index
+        self.layout = layout
+        #: Dispatches a strip request toward its server (wired by the
+        #: cluster builder: request-path latency then ``IoServer.serve``).
+        self._submit = submit
+        #: Client-side SAIs component (None on a stock PVFS client).
+        self.hint_messager = hint_messager
+        #: Optional per-strip lifecycle tracer (repro.metrics.trace).
+        self.tracer = tracer
+        self._request_ids = count()
+        self._strip_tokens = count()
+        self._outstanding: dict[int, OutstandingRequest] = {}
+        #: Per-server TCP reassembly state (segmented flows only).
+        self._tcp_streams: dict[int, TcpStream] = {}
+        self._assembly_bytes: dict[int, int] = {}
+        self.requests_issued = Counter("pfs_requests")
+        self.strips_requested = Counter("pfs_strips")
+        self.bytes_requested = Counter("pfs_bytes")
+
+    # -- issue path -------------------------------------------------------------
+
+    def issue(
+        self, offset: int, size: int, consumer_core: int, write: bool = False
+    ) -> OutstandingRequest:
+        """Fan a read (or write) out to the servers; returns the tracker.
+
+        The *issuing* core is recorded both as ground truth on each strip
+        request and — when SAIs is installed — as the ``PVFS_hint`` that
+        the servers will echo back in the IP options.  For writes the
+        strips carry data outbound and the tracked arrivals are the
+        servers' acknowledgements.
+        """
+        request = IoRequest(
+            request_id=next(self._request_ids),
+            client=self.client_index,
+            offset=offset,
+            size=size,
+            issuing_core=consumer_core,
+        )
+        extents = self.layout.extents(offset, size)
+        outstanding = OutstandingRequest(
+            request=request,
+            consumer_core=consumer_core,
+            expected=len(extents),
+            arrivals=Store(self.env),
+            issued_at=self.env.now,
+        )
+        self._outstanding[request.request_id] = outstanding
+        self.requests_issued.add()
+        self.bytes_requested.add(size)
+        for extent in extents:
+            strip_request = StripRequest(
+                request_id=request.request_id,
+                client=self.client_index,
+                server=extent.server,
+                strip_id=next(self._strip_tokens),
+                offset=extent.offset,
+                size=extent.size,
+                issuing_core=consumer_core,
+                is_write=write,
+            )
+            if self.hint_messager is not None:
+                self.hint_messager.attach(strip_request, consumer_core)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.client_index,
+                    strip_request.strip_id,
+                    "issued",
+                    self.env.now,
+                )
+            self.strips_requested.add()
+            self._submit(strip_request)
+        return outstanding
+
+    # -- completion path ---------------------------------------------------------
+
+    def segment_arrived(
+        self, packet: "Packet", handled_on: int
+    ) -> OutstandingRequest | None:
+        """Record one handled segment; completes its strip when whole.
+
+        Unsegmented packets (one coalesced train per strip) complete
+        immediately.  For MSS-segmented flows, reassembly state tracks the
+        strip until the last segment lands; intermediate segments return
+        None and the consumer stays asleep.
+        """
+        if packet.n_segments == 1:
+            return self.strip_arrived(packet, handled_on)
+        stream = self._tcp_streams.setdefault(
+            packet.src_server, TcpStream(packet.src_server, self.client_index)
+        )
+        self._assembly_bytes[packet.strip_id] = (
+            self._assembly_bytes.get(packet.strip_id, 0) + packet.size
+        )
+        if not stream.deliver(packet):
+            return None
+        full_size = self._assembly_bytes.pop(packet.strip_id)
+        whole = dataclasses.replace(
+            packet, size=full_size, segment=0, n_segments=1
+        )
+        return self.strip_arrived(whole, handled_on)
+
+    def strip_arrived(self, packet: "Packet", handled_on: int) -> OutstandingRequest:
+        """Called by the softirq once a strip's packet train is processed."""
+        outstanding = self._outstanding.get(packet.request_id)
+        if outstanding is None:
+            raise SimulationError(
+                f"strip for unknown request {packet.request_id} "
+                f"(token {packet.strip_id})"
+            )
+        outstanding.arrived += 1
+        if outstanding.arrived > outstanding.expected:
+            raise SimulationError(
+                f"request {packet.request_id} received more strips than expected"
+            )
+        outstanding.arrivals.put(
+            ArrivedStrip(
+                token=packet.strip_id, size=packet.size, handled_on=handled_on
+            )
+        )
+        return outstanding
+
+    def locate_request(self, request_id: int) -> int | None:
+        """Current consumer core of an in-flight request (policy-ii oracle)."""
+        outstanding = self._outstanding.get(request_id)
+        return None if outstanding is None else outstanding.consumer_core
+
+    def retire(self, request_id: int) -> None:
+        """Drop tracking state once the consumer has merged everything."""
+        outstanding = self._outstanding.pop(request_id, None)
+        if outstanding is None:
+            raise SimulationError(f"retiring unknown request {request_id}")
+        if not outstanding.complete:
+            raise SimulationError(
+                f"retiring request {request_id} with strips still in flight"
+            )
+
+    @property
+    def in_flight(self) -> int:
+        """Number of requests not yet retired."""
+        return len(self._outstanding)

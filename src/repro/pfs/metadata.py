@@ -1,0 +1,68 @@
+"""The PVFS metadata server.
+
+PVFS keeps file metadata (size, distribution/striping parameters) on a
+dedicated metadata server; clients resolve it once at open time, after
+which data flows directly between client and I/O servers.  The lookup cost
+is a per-open constant, which is why it does not appear in the paper's
+steady-state analysis — but it is modeled so open-heavy workloads would pay
+it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..des import Environment, Resource
+from ..des.monitor import Counter
+from ..errors import ConfigError
+from ..units import USEC
+from .layout import StripeLayout
+
+__all__ = ["FileMeta", "MetadataServer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FileMeta:
+    """Resolved metadata for one file."""
+
+    name: str
+    size: int
+    layout: StripeLayout
+
+
+class MetadataServer:
+    """Name -> metadata resolution with a serialized service queue."""
+
+    def __init__(self, env: Environment, service_time: float = 200 * USEC) -> None:
+        if service_time < 0:
+            raise ConfigError("service_time must be non-negative")
+        self.env = env
+        self.service_time = service_time
+        self._files: dict[str, FileMeta] = {}
+        self._cpu = Resource(env, capacity=1)
+        self.lookups = Counter("metadata_lookups")
+
+    def create(self, name: str, size: int, layout: StripeLayout) -> FileMeta:
+        """Register a file (instantaneous; done at setup time)."""
+        if size <= 0:
+            raise ConfigError(f"file size must be positive, got {size}")
+        if name in self._files:
+            raise ConfigError(f"file {name!r} already exists")
+        meta = FileMeta(name=name, size=size, layout=layout)
+        self._files[name] = meta
+        return meta
+
+    def lookup(self, name: str) -> t.Generator:
+        """Resolve ``name``; blocks for queueing + service, returns FileMeta."""
+        if name not in self._files:
+            raise ConfigError(f"no such file: {name!r}")
+        with self._cpu.request() as req:
+            yield req
+            yield self.env.timeout(self.service_time)
+        self.lookups.add()
+        return self._files[name]
+
+    def stat(self, name: str) -> FileMeta:
+        """Zero-cost metadata peek for tests and setup code."""
+        return self._files[name]

@@ -1,0 +1,64 @@
+"""Request objects exchanged between application, PFS client and servers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import ConfigError
+
+__all__ = ["IoRequest", "StripRequest"]
+
+
+@dataclasses.dataclass
+class IoRequest:
+    """One application-level read call (the *source* in SAIs nomenclature)."""
+
+    request_id: int
+    #: Client node index issuing the request.
+    client: int
+    #: Byte offset into the file.
+    offset: int
+    #: Bytes requested (the IOR transfer size).
+    size: int
+    #: Core the issuing process occupied at issue time.
+    issuing_core: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"request size must be positive, got {self.size}")
+        if self.offset < 0:
+            raise ConfigError(f"offset must be non-negative, got {self.offset}")
+
+
+@dataclasses.dataclass
+class StripRequest:
+    """One per-server piece of an :class:`IoRequest`.
+
+    ``hint_aff_core_id`` is the PVFS_hint field the SAIs ``HintMessager``
+    fills in; servers running ``HintCapsuler`` echo it into the IP options
+    of every returned packet.
+    """
+
+    request_id: int
+    client: int
+    #: Destination I/O server index.
+    server: int
+    #: Global strip index within the file layout.
+    strip_id: int
+    #: Byte offset of this piece within the file.
+    offset: int
+    #: Bytes to read from this server (<= strip size).
+    size: int
+    #: The SAIs hint (None when the client does not run HintMessager).
+    hint_aff_core_id: int | None = None
+    #: Ground truth issuing core, independent of the hint plumbing; only
+    #: oracle/ablation policies may consult it.
+    issuing_core: int | None = None
+    #: True for the write path: the strip carries data *to* the server and
+    #: only a small acknowledgement flows back (Sec. I: writes have no
+    #: client-side interrupt data-locality issue).
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"strip size must be positive, got {self.size}")

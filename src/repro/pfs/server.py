@@ -1,0 +1,149 @@
+"""A PVFS I/O server node.
+
+Serves strip requests from a disk + page-cache model and returns each strip
+as one packet train over the server's uplink.  When a
+:class:`~repro.core.sais.HintCapsuler` is installed (the server-side SAIs
+component), every returned packet's IP options carry the request's
+``aff_core_id`` hint.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from ..config import ServerConfig
+from ..core.sais import HintCapsuler
+from ..des import Environment
+from ..des.monitor import Counter
+from ..hw.disk import Disk
+from ..net.links import Link
+from ..net.packet import Packet
+from ..net.tcp import TcpStream
+from ..rng import hash_unit
+from .request import StripRequest
+
+__all__ = ["IoServer"]
+
+
+class IoServer:
+    """One I/O server: request decode -> storage -> uplink transmit."""
+
+    def __init__(
+        self,
+        env: Environment,
+        index: int,
+        config: ServerConfig,
+        uplink: Link,
+        deliver: t.Callable[[Packet], t.Any],
+        rng: np.random.Generator,
+        capsuler: HintCapsuler | None = None,
+        tracer: t.Any | None = None,
+        mss: int | None = None,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.config = config
+        self.uplink = uplink
+        self._deliver = deliver
+        self._rng = rng
+        #: Server-side SAIs component (None on a stock PVFS server).
+        self.capsuler = capsuler
+        #: Optional per-strip lifecycle tracer.
+        self.tracer = tracer
+        #: TCP maximum segment size; None = one coalesced train per strip.
+        self.mss = mss
+        self._streams: dict[int, TcpStream] = {}
+        self.disk = Disk(
+            env, rate=config.disk_rate, seek=config.disk_seek, rng=rng
+        )
+        self.strips_served = Counter(f"server{index}_strips")
+        self.bytes_served = Counter(f"server{index}_bytes")
+        self.cache_hits = Counter(f"server{index}_cache_hits")
+
+    def serve(self, request: StripRequest) -> t.Generator:
+        """Handle one strip request end-to-end (run as a process)."""
+        if request.server != self.index:
+            raise ValueError(
+                f"strip for server {request.server} routed to server {self.index}"
+            )
+        if self.config.service_overhead > 0:
+            yield self.env.timeout(self.config.service_overhead)
+        yield from self._fetch(request.size, request.offset)
+        packet = Packet(
+            size=request.size,
+            src_server=self.index,
+            dst_client=request.client,
+            request_id=request.request_id,
+            strip_id=request.strip_id,
+            request_core=request.issuing_core,
+        )
+        if self.capsuler is not None:
+            self.capsuler.encapsulate(packet, request.hint_aff_core_id)
+        if self.tracer is not None:
+            self.tracer.record(
+                request.client, request.strip_id, "served", self.env.now
+            )
+        self.strips_served.add()
+        self.bytes_served.add(request.size)
+        stream = self._streams.setdefault(
+            request.client, TcpStream(self.index, request.client)
+        )
+        for segment in stream.segments_for_strip(packet, self.mss):
+            # The IP option's copied flag (Fig. 4) replicates the hint
+            # onto every segment, so SrcParser works on any of them.
+            yield from self.uplink.transmit(segment, self._deliver)
+
+    #: Size of a write acknowledgement message on the wire.
+    ACK_SIZE = 1024
+
+    def serve_write(self, request: StripRequest) -> t.Generator:
+        """Absorb one written strip and return a small acknowledgement.
+
+        Writes land in the server's page cache (PVFS servers ack once the
+        data is buffered; the flush is asynchronous), so the client-visible
+        cost is the buffered-write copy plus the ack round trip.  The ack
+        still traverses the full interrupt path on the client — but it is
+        tiny and carries no consumable data, which is exactly why the
+        paper scopes the locality problem to reads.
+        """
+        if request.server != self.index:
+            raise ValueError(
+                f"strip for server {request.server} routed to server {self.index}"
+            )
+        if not request.is_write:
+            raise ValueError("serve_write called with a read strip request")
+        if self.config.service_overhead > 0:
+            yield self.env.timeout(self.config.service_overhead)
+        # Buffered write: memory-speed copy into the page cache.
+        yield self.env.timeout(request.size / self.config.cache_rate)
+        # Asynchronous flush to disk, off the client's critical path.
+        self.env.process(self.disk.write(request.size))
+        ack = Packet(
+            size=self.ACK_SIZE,
+            src_server=self.index,
+            dst_client=request.client,
+            request_id=request.request_id,
+            strip_id=request.strip_id,
+            request_core=request.issuing_core,
+            carries_data=False,
+        )
+        if self.capsuler is not None:
+            self.capsuler.encapsulate(ack, request.hint_aff_core_id)
+        self.strips_served.add()
+        self.bytes_served.add(request.size)
+        yield from self.uplink.transmit(ack, self._deliver)
+
+    def _fetch(self, nbytes: int, offset: int) -> t.Generator:
+        """Read ``nbytes`` at ``offset`` from page cache or disk.
+
+        Whether an offset is page-cache-resident is a property of the data
+        (keyed deterministically on the offset), not of event order — so
+        paired A/B policy runs see identical hit patterns.
+        """
+        if hash_unit(self.index, offset) < self.config.cache_hit_ratio:
+            self.cache_hits.add()
+            yield self.env.timeout(nbytes / self.config.cache_rate)
+        else:
+            yield from self.disk.read(nbytes)

@@ -1,0 +1,13 @@
+"""Workload generators driving the simulated cluster.
+
+* :mod:`~repro.workloads.ior` — the paper's benchmark: IOR-style
+  synchronous strided reads with an added per-request encrypt compute
+  phase;
+* :mod:`~repro.workloads.synthetic` — open-loop arrival patterns for
+  stress-testing single components.
+"""
+
+from .ior import ior_process, spawn_ior_processes
+from .synthetic import poisson_strip_arrivals
+
+__all__ = ["ior_process", "spawn_ior_processes", "poisson_strip_arrivals"]

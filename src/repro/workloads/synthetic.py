@@ -1,0 +1,42 @@
+"""Open-loop synthetic arrival patterns for component stress tests.
+
+The IOR workload is closed-loop (each process waits for its read).  For
+isolating a single resource — e.g. "how deep does the migration queue get
+at a given interrupt rate?" — an open-loop Poisson stream is the right
+probe; these helpers generate one.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+import numpy as np
+
+from ..des import Environment
+from ..errors import ConfigError
+
+__all__ = ["poisson_strip_arrivals"]
+
+
+def poisson_strip_arrivals(
+    env: Environment,
+    rate: float,
+    count: int,
+    handler: t.Callable[[int], t.Any],
+    rng: np.random.Generator,
+) -> t.Generator:
+    """Fire ``handler(i)`` for ``count`` arrivals at Poisson ``rate``/s.
+
+    If ``handler`` returns a generator it is spawned as its own process,
+    so slow handlers do not throttle the arrival stream (open loop).
+    """
+    if rate <= 0:
+        raise ConfigError(f"rate must be positive, got {rate}")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    for i in range(count):
+        gap = float(rng.exponential(1.0 / rate))
+        yield env.timeout(gap)
+        result = handler(i)
+        if result is not None and hasattr(result, "send"):
+            env.process(result)

@@ -1,0 +1,74 @@
+"""Tests for the vectorized Sec. III grid evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import AnalysisParams
+from repro.core.analysis_sweep import evaluate_grid
+from repro.errors import ConfigError
+
+P = 13e-6
+
+
+class TestGridEvaluation:
+    def test_matches_scalar_model_pointwise(self):
+        servers = [8, 16, 48]
+        migrations = [50e-6, 250e-6]
+        grid = evaluate_grid(
+            servers, migrations, n_cores=8, strip_processing=P,
+            rest_time=0.5, n_requests=16,
+        )
+        for i, n_servers in enumerate(servers):
+            for j, m in enumerate(migrations):
+                params = AnalysisParams(
+                    n_cores=8,
+                    n_servers=n_servers,
+                    strip_processing=P,
+                    strip_migration=m,
+                    rest_time=0.5,
+                    n_requests=16,
+                )
+                assert grid.t_balanced[i, j] == pytest.approx(
+                    params.t_balanced_stream()
+                )
+                assert grid.t_source_aware[i, j] == pytest.approx(
+                    params.t_source_aware_stream()
+                )
+                assert grid.gap[i, j] == pytest.approx(
+                    params.performance_gap()
+                )
+
+    def test_shapes(self):
+        grid = evaluate_grid([8, 16], [1e-4, 2e-4, 3e-4], 8, P)
+        assert grid.t_balanced.shape == (2, 3)
+        assert grid.predicted_speedup.shape == (2, 3)
+        assert grid.n_servers.shape == (2, 3)
+
+    def test_gap_monotone_in_both_axes(self):
+        grid = evaluate_grid([8, 16, 32, 48], [5e-5, 1e-4, 3e-4], 8, P)
+        assert (np.diff(grid.gap, axis=0) > 0).all()  # more servers
+        assert (np.diff(grid.gap, axis=1) > 0).all()  # costlier M
+
+    def test_win_region_grows_with_m(self):
+        grid = evaluate_grid(
+            [8, 48], [P, 5 * P, 20 * P], 8, P, rest_time=0.0
+        )
+        wins = grid.win_region(threshold=0.1)
+        assert not wins[:, 0].any()  # M == P: balanced at least as good
+        assert wins[:, 2].all()  # M == 20P: clear win everywhere
+
+    def test_gap_sign_flips_with_m_below_p(self):
+        grid = evaluate_grid([8], [P / 2, 2 * P], 8, P)
+        assert grid.gap[0, 0] < 0 < grid.gap[0, 1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            evaluate_grid([], [1e-4], 8, P)
+        with pytest.raises(ConfigError):
+            evaluate_grid([8], [0.0], 8, P)
+        with pytest.raises(ConfigError):
+            evaluate_grid([0], [1e-4], 8, P)
+        with pytest.raises(ConfigError):
+            evaluate_grid([8], [1e-4], 0, P)
+        with pytest.raises(ConfigError):
+            evaluate_grid([8], [1e-4], 8, -1.0)

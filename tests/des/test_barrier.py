@@ -1,0 +1,102 @@
+"""Tests for the cyclic Barrier primitive."""
+
+import pytest
+
+from repro.des import Barrier, Environment
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_parties_must_be_positive(env):
+    with pytest.raises(SimulationError):
+        Barrier(env, parties=0)
+
+
+def test_single_party_never_blocks(env):
+    barrier = Barrier(env, parties=1)
+    log = []
+
+    def solo(env):
+        for _ in range(3):
+            cycle = yield barrier.wait()
+            log.append((env.now, cycle))
+            yield env.timeout(1.0)
+
+    env.process(solo(env))
+    env.run()
+    assert log == [(0.0, 0), (1.0, 1), (2.0, 2)]
+
+
+def test_all_parties_released_together(env):
+    barrier = Barrier(env, parties=3)
+    released = []
+
+    def worker(env, delay, tag):
+        yield env.timeout(delay)
+        yield barrier.wait()
+        released.append((env.now, tag))
+
+    for delay, tag in ((1.0, "a"), (5.0, "b"), (3.0, "c")):
+        env.process(worker(env, delay, tag))
+    env.run()
+    # Everyone is released at the last arrival (t = 5).
+    assert [t for t, _ in released] == [5.0, 5.0, 5.0]
+
+
+def test_barrier_is_cyclic(env):
+    barrier = Barrier(env, parties=2)
+    cycles = []
+
+    def worker(env, think):
+        for _ in range(3):
+            cycle = yield barrier.wait()
+            cycles.append(cycle)
+            yield env.timeout(think)
+
+    env.process(worker(env, 1.0))
+    env.process(worker(env, 2.0))
+    env.run()
+    assert sorted(cycles) == [0, 0, 1, 1, 2, 2]
+    assert barrier.cycles == 3
+
+
+def test_n_waiting(env):
+    barrier = Barrier(env, parties=3)
+
+    def worker(env):
+        yield barrier.wait()
+
+    env.process(worker(env))
+    env.process(worker(env))
+    env.run()
+    assert barrier.n_waiting == 2
+    env.process(worker(env))
+    env.run()
+    assert barrier.n_waiting == 0
+
+
+def test_lockstep_enforced(env):
+    """A fast party cannot run ahead of a slow one by more than a cycle."""
+    barrier = Barrier(env, parties=2)
+    trace = []
+
+    def fast(env):
+        for k in range(3):
+            yield barrier.wait()
+            trace.append(("fast", k, env.now))
+
+    def slow(env):
+        for k in range(3):
+            yield barrier.wait()
+            yield env.timeout(10.0)
+            trace.append(("slow", k, env.now))
+
+    env.process(fast(env))
+    env.process(slow(env))
+    env.run()
+    fast_times = [t for who, _, t in trace if who == "fast"]
+    assert fast_times == [0.0, 10.0, 20.0]

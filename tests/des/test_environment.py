@@ -1,0 +1,133 @@
+"""Tests for the DES environment: clock, ordering, run modes."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import SimulationError
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=5.0).now == 5.0
+
+
+def test_run_until_number_advances_clock_exactly():
+    env = Environment()
+    env.run(until=12.5)
+    assert env.now == 12.5
+
+
+def test_run_empty_calendar_returns_none():
+    env = Environment()
+    assert env.run() is None
+    assert env.now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    env.timeout(3.0)
+    env.run()
+    assert env.now == 3.0
+
+
+def test_events_fire_in_time_order():
+    env = Environment()
+    fired = []
+    for delay in (5.0, 1.0, 3.0):
+        env.timeout(delay, value=delay).callbacks.append(
+            lambda ev: fired.append(ev.value)
+        )
+    env.run()
+    assert fired == [1.0, 3.0, 5.0]
+
+
+def test_simultaneous_events_fire_in_schedule_order():
+    env = Environment()
+    fired = []
+    for tag in range(5):
+        env.timeout(1.0, value=tag).callbacks.append(
+            lambda ev: fired.append(ev.value)
+        )
+    env.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(2.0)
+        return 42
+
+    proc = env.process(worker(env))
+    assert env.run(until=proc) == 42
+    assert env.now == 2.0
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    ev = env.timeout(1.0, value="x")
+    env.run()
+    assert env.run(until=ev) == "x"
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_run_until_failed_event_raises_original_exception():
+    env = Environment()
+
+    def bomb(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    proc = env.process(bomb(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run(until=proc)
+
+
+def test_run_until_past_time_raises():
+    env = Environment()
+    env.run(until=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_number_does_not_process_later_events():
+    env = Environment()
+    fired = []
+    env.timeout(10.0).callbacks.append(lambda ev: fired.append(1))
+    env.run(until=5.0)
+    assert fired == []
+    env.run(until=15.0)
+    assert fired == [1]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4.0)
+    assert env.peek() == 4.0
+
+
+def test_unhandled_event_failure_stops_simulation():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("nobody caught me"))
+    with pytest.raises(RuntimeError, match="nobody caught me"):
+        env.run()
+
+
+def test_defused_failure_does_not_stop_simulation():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled"))
+    ev.defuse()
+    env.run()  # no raise

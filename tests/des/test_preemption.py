@@ -1,0 +1,183 @@
+"""Tests for PreemptiveResource: eviction, resume, and edge cases."""
+
+import pytest
+
+from repro.des import Environment, Interrupt, Preempted, PreemptiveResource
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_higher_priority_preempts(env):
+    resource = PreemptiveResource(env, capacity=1)
+    log = []
+
+    def background(env):
+        with resource.request(priority=10) as req:
+            yield req
+            try:
+                yield env.timeout(10.0)
+                log.append(("bg-finished", env.now))
+            except Interrupt as intr:
+                log.append(("bg-preempted", env.now, intr.cause.usage))
+
+    def urgent(env):
+        yield env.timeout(3.0)
+        with resource.request(priority=0) as req:
+            yield req
+            log.append(("urgent-start", env.now))
+            yield env.timeout(1.0)
+
+    env.process(background(env))
+    env.process(urgent(env))
+    env.run()
+    assert ("bg-preempted", 3.0, 3.0) in log
+    assert ("urgent-start", 3.0) in log
+
+
+def test_equal_priority_does_not_preempt(env):
+    resource = PreemptiveResource(env, capacity=1)
+    order = []
+
+    def worker(env, tag, delay):
+        yield env.timeout(delay)
+        with resource.request(priority=5) as req:
+            yield req
+            order.append((tag, env.now))
+            yield env.timeout(2.0)
+
+    env.process(worker(env, "first", 0.0))
+    env.process(worker(env, "second", 1.0))
+    env.run()
+    assert order == [("first", 0.0), ("second", 2.0)]
+
+
+def test_lower_priority_request_waits(env):
+    resource = PreemptiveResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with resource.request(priority=0) as req:
+            yield req
+            order.append(("holder", env.now))
+            yield env.timeout(2.0)
+
+    def meek(env):
+        yield env.timeout(0.5)
+        with resource.request(priority=9) as req:
+            yield req
+            order.append(("meek", env.now))
+
+    env.process(holder(env))
+    env.process(meek(env))
+    env.run()
+    assert order == [("holder", 0.0), ("meek", 2.0)]
+
+
+def test_preempted_process_can_reacquire_and_finish(env):
+    resource = PreemptiveResource(env, capacity=1)
+    finished = []
+
+    def persistent(env):
+        remaining = 5.0
+        while remaining > 0:
+            with resource.request(priority=10) as req:
+                yield req
+                started = env.now
+                try:
+                    yield env.timeout(remaining)
+                    remaining = 0.0
+                except Interrupt as intr:
+                    remaining -= intr.cause.usage
+                    del started
+        finished.append(env.now)
+
+    def blip(env):
+        yield env.timeout(2.0)
+        with resource.request(priority=0) as req:
+            yield req
+            yield env.timeout(1.0)
+
+    env.process(persistent(env))
+    env.process(blip(env))
+    env.run()
+    # 2s of work, 1s preempted, then the remaining 3s => finish at 6s.
+    assert finished == [6.0]
+
+
+def test_victim_is_lowest_priority_holder(env):
+    resource = PreemptiveResource(env, capacity=2)
+    preempted = []
+
+    def holder(env, tag, priority):
+        with resource.request(priority=priority) as req:
+            yield req
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                preempted.append(tag)
+
+    def urgent(env):
+        yield env.timeout(1.0)
+        with resource.request(priority=0) as req:
+            yield req
+            yield env.timeout(0.5)
+
+    env.process(holder(env, "mid", 5))
+    env.process(holder(env, "low", 9))
+    env.process(urgent(env))
+    env.run(until=3.0)
+    assert preempted == ["low"]
+
+
+def test_preempted_cause_carries_the_winner(env):
+    resource = PreemptiveResource(env, capacity=1)
+    causes = []
+
+    def loser(env):
+        with resource.request(priority=7) as req:
+            yield req
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as intr:
+                causes.append(intr.cause)
+
+    def winner(env):
+        yield env.timeout(1.0)
+        with resource.request(priority=1) as req:
+            yield req
+            yield env.timeout(0.1)
+
+    env.process(loser(env))
+    env.process(winner(env))
+    env.run()
+    assert len(causes) == 1
+    assert isinstance(causes[0], Preempted)
+    assert causes[0].by.priority == 1
+    assert causes[0].usage == pytest.approx(1.0)
+
+
+def test_resource_consistent_after_preemption(env):
+    resource = PreemptiveResource(env, capacity=1)
+
+    def loser(env):
+        with resource.request(priority=7) as req:
+            yield req
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+
+    def winner(env):
+        yield env.timeout(1.0)
+        with resource.request(priority=1) as req:
+            yield req
+            yield env.timeout(0.5)
+
+    env.process(loser(env))
+    env.process(winner(env))
+    env.run()
+    assert resource.in_use == 0
+    assert resource.queue_length == 0

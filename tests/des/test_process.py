@@ -1,0 +1,219 @@
+"""Tests for generator processes: waiting, returning, failing, interrupts."""
+
+import pytest
+
+from repro.des import Environment, Interrupt
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestLifecycle:
+    def test_process_runs_and_returns_value(self, env):
+        def worker(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return "finished"
+
+        proc = env.process(worker(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+        assert proc.value == "finished"
+        assert env.now == 3.0
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_process_waiting_on_another_process(self, env):
+        def child(env):
+            yield env.timeout(2.0)
+            return 10
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return value * 2
+
+        proc = env.process(parent(env))
+        assert env.run(until=proc) == 20
+
+    def test_yielding_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42
+
+        proc = env.process(bad(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(until=proc)
+
+    def test_yielding_foreign_event_fails_process(self, env):
+        other = Environment()
+
+        def bad(env):
+            yield other.timeout(1.0)
+
+        proc = env.process(bad(env))
+        with pytest.raises(SimulationError, match="foreign"):
+            env.run(until=proc)
+
+    def test_exception_in_process_propagates_to_waiter(self, env):
+        def bomb(env):
+            yield env.timeout(1.0)
+            raise KeyError("inner")
+
+        def waiter(env):
+            try:
+                yield env.process(bomb(env))
+            except KeyError:
+                return "caught"
+
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == "caught"
+
+    def test_uncaught_process_exception_stops_run(self, env):
+        def bomb(env):
+            yield env.timeout(1.0)
+            raise KeyError("kaboom")
+
+        env.process(bomb(env))
+        with pytest.raises(KeyError):
+            env.run()
+
+    def test_yield_already_processed_event_continues_immediately(self, env):
+        done = env.timeout(1.0, value="early")
+        env.run()
+
+        def worker(env):
+            value = yield done
+            return value
+
+        proc = env.process(worker(env))
+        assert env.run(until=proc) == "early"
+        assert env.now == 1.0
+
+    def test_active_process_visible_during_execution(self, env):
+        observed = []
+
+        def worker(env):
+            observed.append(env.active_process)
+            yield env.timeout(1.0)
+
+        proc = env.process(worker(env))
+        env.run()
+        assert observed == [proc]
+        assert env.active_process is None
+
+    def test_immediate_return_process(self, env):
+        def instant(env):
+            return 5
+            yield  # pragma: no cover - makes it a generator
+
+        proc = env.process(instant(env))
+        assert env.run(until=proc) == 5
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as intr:
+                return ("interrupted", intr.cause, env.now)
+
+        def interrupter(env, victim):
+            yield env.timeout(3.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        assert env.run(until=victim) == ("interrupted", "wake up", 3.0)
+
+    def test_interrupt_default_cause_is_none(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt as intr:
+                return intr.cause
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        assert env.run(until=victim) is None
+
+    def test_interrupted_process_can_keep_running(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(10.0)
+            except Interrupt:
+                pass
+            yield env.timeout(5.0)
+            return env.now
+
+        def interrupter(env, victim):
+            yield env.timeout(2.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        assert env.run(until=victim) == 7.0
+
+    def test_interrupting_terminated_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1.0)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def selfish(env):
+            env.active_process.interrupt()
+            yield env.timeout(1.0)
+
+        proc = env.process(selfish(env))
+        with pytest.raises(SimulationError):
+            env.run(until=proc)
+
+    def test_interrupt_removes_victim_from_target_waiters(self, env):
+        # After an interrupt, the original target firing must not resume
+        # the victim a second time.
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(4.0)
+                log.append("timeout-completed")
+            except Interrupt:
+                log.append("interrupted")
+            yield env.timeout(10.0)
+            log.append("second-sleep-done")
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt()
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == ["interrupted", "second-sleep-done"]
+        assert env.now == 11.0
+
+    def test_uncaught_interrupt_kills_process(self, env):
+        def sleeper(env):
+            yield env.timeout(10.0)
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("die")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        with pytest.raises(Interrupt):
+            env.run()

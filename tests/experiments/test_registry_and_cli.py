@@ -1,0 +1,147 @@
+"""Tests for the experiment registry, result shape and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.experiments import (
+    all_experiment_ids,
+    get_experiment,
+    run_experiment_by_id,
+)
+from repro.experiments.base import ExperimentResult, register_experiment
+
+
+EXPECTED_IDS = {
+    "fig5_bandwidth_3g",
+    "sec5c_bandwidth_1g",
+    "fig6_missrate_1g",
+    "fig7_missrate_3g",
+    "fig8_cpuutil_1g",
+    "fig9_cpuutil_3g",
+    "fig10_unhalted_1g",
+    "fig11_unhalted_3g",
+    "fig12_multiclient",
+    "fig14_memsim",
+    "sec3_model",
+    "ablation_policies",
+    "ablation_costmodel",
+    "ablation_migration",
+    "ablation_write_path",
+    "ablation_stripsize",
+    "extension_modern_hw",
+    "extension_napi",
+    "extension_collective",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert EXPECTED_IDS.issubset(set(all_experiment_ids()))
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            run_experiment_by_id("fig14_memsim", scale="enormous")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+
+            @register_experiment("fig14_memsim")
+            def dup(scale):  # pragma: no cover
+                raise AssertionError
+
+
+class TestResultShape:
+    @pytest.fixture(scope="class")
+    def memsim_result(self):
+        return run_experiment_by_id("fig14_memsim", scale="quick")
+
+    def test_rows_match_headers(self, memsim_result):
+        for row in memsim_result.rows:
+            assert len(row) == len(memsim_result.headers)
+
+    def test_measured_covers_paper_keys(self, memsim_result):
+        assert set(memsim_result.paper).issubset(set(memsim_result.measured))
+
+    def test_render_contains_table_and_headline(self, memsim_result):
+        rendered = memsim_result.render()
+        assert memsim_result.title in rendered
+        assert "paper=" in rendered
+
+    def test_render_without_paper_keys(self):
+        result = ExperimentResult(
+            exp_id="x",
+            title="T",
+            headers=("a",),
+            rows=(("1",),),
+            paper={},
+            measured={},
+        )
+        assert "paper=" not in result.render()
+
+
+class TestQuickScaleAllExperiments:
+    """Every registered experiment completes at quick scale."""
+
+    @pytest.mark.parametrize("exp_id", sorted(EXPECTED_IDS))
+    def test_runs(self, exp_id):
+        result = run_experiment_by_id(exp_id, scale="quick")
+        assert result.exp_id == exp_id
+        assert result.rows
+        assert result.measured
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14_memsim" in out
+
+    def test_run_one(self, capsys):
+        assert main(["run", "fig14_memsim", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Si-SAIs" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_multiple(self, capsys):
+        assert (
+            main(["run", "fig14_memsim", "sec3_model", "--scale", "quick"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "Fig. 14" in out and "Sec. III" in out
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "fig14_memsim", "--scale", "quick", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["exp_id"] == "fig14_memsim"
+        assert payload[0]["rows"]
+        assert "peak_speedup_pct" in payload[0]["measured"]
+
+    def test_run_plot(self, capsys):
+        assert main(["run", "fig14_memsim", "--scale", "quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+
+    def test_summary_grid(self, capsys):
+        assert main(["summary", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out and "measured" in out
+        assert "fig14_memsim" in out
+        assert "peak_speedup_pct" in out
+
+    def test_to_dict_roundtrips_through_json(self):
+        import json
+
+        result = run_experiment_by_id("fig14_memsim", scale="quick")
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["headers"] == list(result.headers)
+        assert len(payload["rows"]) == len(result.rows)

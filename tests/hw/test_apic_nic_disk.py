@@ -1,0 +1,189 @@
+"""Tests for the interrupt fabric (IoApic/LocalApic), NIC and Disk models."""
+
+import pytest
+
+from repro.core.policies import DedicatedPolicy, RoundRobinPolicy
+from repro.des import Environment
+from repro.errors import SimulationError
+from repro.hw import Core, Disk, InterruptContext, IoApic, Nic
+from repro.net import Packet
+from repro.rng import RngFactory
+from repro.units import GHz, KiB, MiB
+
+
+def make_packet(size=64 * KiB, server=0, strip=0, options=b""):
+    return Packet(
+        size=size,
+        src_server=server,
+        dst_client=0,
+        request_id=1,
+        strip_id=strip,
+        options=options,
+    )
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def cores(env):
+    return [Core(env, i, 2.0 * GHz) for i in range(4)]
+
+
+def wire_sink(ioapic, log):
+    """Install trivial handlers that record (core, ctx)."""
+    for lapic in ioapic.local_apics:
+        lapic.install_handler(
+            lambda ctx, idx=lapic.core_index: log.append((idx, ctx))
+        )
+
+
+class TestIoApic:
+    def test_routes_via_policy(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=2))
+        log = []
+        wire_sink(ioapic, log)
+        ioapic.raise_interrupt(InterruptContext(packet=make_packet()))
+        assert log[0][0] == 2
+        assert ioapic.deliveries == [0, 0, 1, 0]
+
+    def test_round_robin_rotation(self, env, cores):
+        ioapic = IoApic(env, cores, RoundRobinPolicy())
+        log = []
+        wire_sink(ioapic, log)
+        for _ in range(6):
+            ioapic.raise_interrupt(InterruptContext(packet=make_packet()))
+        assert [entry[0] for entry in log] == [0, 1, 2, 3, 0, 1]
+
+    def test_missing_handler_raises(self, env, cores):
+        ioapic = IoApic(env, cores, RoundRobinPolicy())
+        with pytest.raises(SimulationError):
+            ioapic.raise_interrupt(InterruptContext(packet=make_packet()))
+
+    def test_needs_cores(self, env):
+        with pytest.raises(SimulationError):
+            IoApic(env, [], RoundRobinPolicy())
+
+    def test_policy_bound_on_construction(self, env, cores):
+        policy = RoundRobinPolicy()
+        ioapic = IoApic(env, cores, policy)
+        assert policy.ioapic is ioapic
+
+    def test_invalid_policy_choice_detected(self, env, cores):
+        class Broken(RoundRobinPolicy):
+            def select_core(self, ctx, cores):
+                return 99
+
+        ioapic = IoApic(env, cores, Broken())
+        with pytest.raises(SimulationError):
+            ioapic.raise_interrupt(InterruptContext(packet=make_packet()))
+
+
+class TestNic:
+    def test_receive_serializes_at_bandwidth(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=0))
+        log = []
+        wire_sink(ioapic, log)
+        nic = Nic(env, bandwidth=1 * MiB, ioapic=ioapic)
+        env.process(nic.receive(make_packet(size=512 * KiB)))
+        env.run()
+        assert env.now == pytest.approx(0.5)
+        assert len(log) == 1
+        assert nic.bytes_received.value == 512 * KiB
+
+    def test_packets_queue_on_the_wire(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=0))
+        log = []
+        wire_sink(ioapic, log)
+        nic = Nic(env, bandwidth=1 * MiB, ioapic=ioapic)
+        env.process(nic.receive(make_packet(size=1 * MiB)))
+        env.process(nic.receive(make_packet(size=1 * MiB)))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+        assert nic.interrupts_raised.value == 2
+
+    def test_driver_hook_feeds_aff_core_id(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=0))
+        log = []
+        wire_sink(ioapic, log)
+        nic = Nic(
+            env,
+            bandwidth=1 * MiB,
+            ioapic=ioapic,
+            driver_hook=lambda packet: 3,
+        )
+        env.process(nic.receive(make_packet()))
+        env.run()
+        assert log[0][1].aff_core_id == 3
+
+    def test_framing_overhead(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=0))
+        wire_sink(ioapic, [])
+        nic = Nic(env, bandwidth=1 * MiB, ioapic=ioapic, framing_overhead=0.5)
+        env.process(nic.receive(make_packet(size=1 * MiB)))
+        env.run()
+        assert env.now == pytest.approx(1.5)
+
+    def test_utilization_time(self, env, cores):
+        ioapic = IoApic(env, cores, DedicatedPolicy(core_index=0))
+        wire_sink(ioapic, [])
+        nic = Nic(env, bandwidth=1 * MiB, ioapic=ioapic)
+        env.process(nic.receive(make_packet(size=512 * KiB)))
+        env.run()
+        assert nic.utilization_time == pytest.approx(0.5)
+
+
+class TestDisk:
+    def test_read_time_seek_plus_transfer(self, env):
+        disk = Disk(env, rate=1 * MiB, seek=0.5)
+        env.process(disk.read(1 * MiB))
+        env.run()
+        assert env.now == pytest.approx(1.5)
+
+    def test_sequential_skips_seek(self, env):
+        disk = Disk(env, rate=1 * MiB, seek=0.5)
+        env.process(disk.read(1 * MiB, sequential=True))
+        env.run()
+        assert env.now == pytest.approx(1.0)
+
+    def test_requests_serialize_on_spindle(self, env):
+        disk = Disk(env, rate=1 * MiB, seek=0.0)
+        env.process(disk.read(1 * MiB))
+        env.process(disk.read(1 * MiB))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_seek_jitter_is_bounded_and_deterministic(self, env):
+        rng = RngFactory(3).stream("disk")
+        disk = Disk(env, rate=100 * MiB, seek=0.01, rng=rng, seek_jitter=0.25)
+        times = []
+
+        def one_read(env):
+            start = env.now
+            yield from disk.read(64 * KiB)
+            times.append(env.now - start)
+
+        def sequence(env):
+            for _ in range(10):
+                yield from one_read(env)
+
+        env.process(sequence(env))
+        env.run()
+        for elapsed in times:
+            seek_part = elapsed - (64 * KiB) / (100 * MiB)
+            assert 0.0075 <= seek_part <= 0.0125
+
+    def test_counters(self, env):
+        disk = Disk(env, rate=1 * MiB, seek=0.0)
+        env.process(disk.read(256 * KiB))
+        env.run()
+        assert disk.bytes_read.value == 256 * KiB
+        assert disk.requests.value == 1
+
+    def test_invalid_params(self, env):
+        with pytest.raises(ValueError):
+            Disk(env, rate=0, seek=0.0)
+        with pytest.raises(ValueError):
+            Disk(env, rate=1.0, seek=-1.0)

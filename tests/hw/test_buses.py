@@ -1,0 +1,105 @@
+"""Tests for the interconnect (migration) bus and the memory bus."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.des import Environment
+from repro.hw import InterconnectBus, MemoryBus
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestInterconnectBus:
+    def test_single_transfer_time_matches_cost_model(self, env):
+        costs = CostModel()
+        bus = InterconnectBus(env, costs)
+        env.process(bus.transfer(64 * KiB))
+        env.run()
+        assert env.now == pytest.approx(costs.strip_migration_time(64 * KiB))
+        assert bus.migrations.value == 1
+        assert bus.bytes_moved.value == 64 * KiB
+
+    def test_transfers_serialize(self, env):
+        """The paper: only one strip migration can happen at any time."""
+        costs = CostModel()
+        bus = InterconnectBus(env, costs)
+        n = 5
+        for _ in range(n):
+            env.process(bus.transfer(64 * KiB))
+        env.run()
+        assert env.now == pytest.approx(n * costs.strip_migration_time(64 * KiB))
+
+    def test_wait_time_accumulates_under_contention(self, env):
+        bus = InterconnectBus(env, CostModel())
+        for _ in range(3):
+            env.process(bus.transfer(64 * KiB))
+        env.run()
+        single = CostModel().strip_migration_time(64 * KiB)
+        # Second waits 1x, third waits 2x.
+        assert bus.wait_time.value == pytest.approx(3 * single)
+
+    def test_total_busy_time(self, env):
+        costs = CostModel()
+        bus = InterconnectBus(env, costs)
+        env.process(bus.transfer(64 * KiB))
+        env.process(bus.transfer(128 * KiB))
+        env.run()
+        expected = costs.strip_migration_time(64 * KiB) + costs.strip_migration_time(
+            128 * KiB
+        )
+        assert bus.total_busy_time == pytest.approx(expected)
+
+
+class TestMemoryBus:
+    def test_transfer_time(self, env):
+        bus = MemoryBus(env, bandwidth=1 * MiB)
+        env.process(bus.transfer(512 * KiB))
+        env.run()
+        assert env.now == pytest.approx(0.5)
+
+    def test_serialization(self, env):
+        bus = MemoryBus(env, bandwidth=1 * MiB)
+        env.process(bus.transfer(1 * MiB))
+        env.process(bus.transfer(1 * MiB))
+        env.run()
+        assert env.now == pytest.approx(2.0)
+
+    def test_latency_added_per_transfer(self, env):
+        bus = MemoryBus(env, bandwidth=1 * MiB, latency=0.25)
+        env.process(bus.transfer(1 * MiB))
+        env.run()
+        assert env.now == pytest.approx(1.25)
+
+    def test_rejects_bad_bandwidth(self, env):
+        with pytest.raises(ValueError):
+            MemoryBus(env, bandwidth=0)
+
+    def test_busy_time_tracks_throughput(self, env):
+        bus = MemoryBus(env, bandwidth=2 * MiB)
+        env.process(bus.transfer(1 * MiB))
+        env.run()
+        assert bus.total_busy_time == pytest.approx(0.5)
+        assert bus.bytes_moved.value == MiB
+
+    def test_transfer_at_accessor_limited(self, env):
+        # A slow accessor occupies the bus at its own rate...
+        bus = MemoryBus(env, bandwidth=4 * MiB)
+        env.process(bus.transfer_at(1 * MiB, rate=1 * MiB))
+        env.run()
+        assert env.now == pytest.approx(1.0)
+
+    def test_transfer_at_capped_by_bus_peak(self, env):
+        # ...but can never exceed the bus peak.
+        bus = MemoryBus(env, bandwidth=2 * MiB)
+        env.process(bus.transfer_at(1 * MiB, rate=100 * MiB))
+        env.run()
+        assert env.now == pytest.approx(0.5)
+
+    def test_transfer_at_rejects_bad_rate(self, env):
+        bus = MemoryBus(env, bandwidth=2 * MiB)
+        with pytest.raises(ValueError):
+            list(bus.transfer_at(1 * MiB, rate=0))

@@ -1,0 +1,168 @@
+"""Tests for softirq daemons, IRQ wiring and the process table."""
+
+import pytest
+
+from repro.config import CostModel
+from repro.core.policies import DedicatedPolicy
+from repro.des import Environment
+from repro.errors import SimulationError
+from repro.hw import CacheSystem, Core, InterruptContext, IoApic
+from repro.kernel import ProcessTable, SoftirqDaemon, wire_interrupts
+from repro.net import Packet
+from repro.pfs import PfsClient, StripeLayout
+from repro.units import GHz, KiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def build_stack(env, n_cores=2, policy=None):
+    """Cores + cache + APIC + daemons + a PFS client, minimally wired."""
+    cores = [Core(env, i, 2 * GHz) for i in range(n_cores)]
+    cache = CacheSystem(n_cores, 512 * KiB, 64 * KiB)
+    layout = StripeLayout(64 * KiB, 4)
+    pfs = PfsClient(env, 0, layout, submit=lambda req: None)
+    costs = CostModel()
+    daemons = [SoftirqDaemon(env, core, cache, costs, pfs) for core in cores]
+    ioapic = IoApic(env, cores, policy or DedicatedPolicy(core_index=0))
+    wire_interrupts(ioapic, daemons)
+    return cores, cache, pfs, daemons, ioapic
+
+
+class TestSoftirqDaemon:
+    def test_handles_interrupt_and_installs_strip(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(env)
+        outstanding = pfs.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=0,
+        )
+        ioapic.raise_interrupt(InterruptContext(packet=packet))
+        env.run(until=0.01)
+        assert daemons[0].handled.value == 1
+        assert cache.owner(0) == 0
+        assert outstanding.arrived == 1
+
+    def test_softirq_charges_processing_time(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(env)
+        outstanding = pfs.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=0,
+        )
+        ioapic.raise_interrupt(InterruptContext(packet=packet))
+        env.run(until=0.01)
+        expected = CostModel().strip_processing_time(64 * KiB)
+        assert cores[0].busy_by_category["softirq"] == pytest.approx(expected)
+
+    def test_cross_core_wakeup_cost_charged(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(
+            env, policy=DedicatedPolicy(core_index=1)
+        )
+        outstanding = pfs.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=0,
+        )
+        ioapic.raise_interrupt(InterruptContext(packet=packet))
+        env.run(until=0.01)
+        # Handled on core 1, consumer on core 0 -> wake-up IPI charged.
+        assert cores[1].busy_by_category["wakeup"] == pytest.approx(
+            CostModel().wakeup_cost
+        )
+
+    def test_same_core_no_wakeup_cost(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(env)
+        outstanding = pfs.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=0,
+        )
+        ioapic.raise_interrupt(InterruptContext(packet=packet))
+        env.run(until=0.01)
+        assert "wakeup" not in cores[0].busy_by_category
+
+    def test_queued_interrupts_processed_in_order(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(env)
+        outstanding = pfs.issue(0, 192 * KiB, consumer_core=0)
+        for strip in range(3):
+            packet = Packet(
+                size=64 * KiB,
+                src_server=strip,
+                dst_client=0,
+                request_id=outstanding.request.request_id,
+                strip_id=strip,
+            )
+            ioapic.raise_interrupt(InterruptContext(packet=packet))
+        env.run(until=0.01)
+        assert daemons[0].handled.value == 3
+        assert daemons[0].bytes_handled.value == 192 * KiB
+
+
+class TestWireInterrupts:
+    def test_mismatched_counts_rejected(self, env):
+        cores, cache, pfs, daemons, ioapic = build_stack(env)
+        with pytest.raises(SimulationError):
+            wire_interrupts(ioapic, daemons[:1])
+
+
+class TestProcessTable:
+    def test_spawn_and_locate(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=2)
+        assert table.core_of(1) == 2
+
+    def test_duplicate_pid_rejected(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=0)
+        with pytest.raises(SimulationError):
+            table.spawn(1, core=1)
+
+    def test_pinned_process_cannot_migrate(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=0, pinned=True)
+        with pytest.raises(SimulationError):
+            table.migrate(1, 2)
+
+    def test_unpinned_migration_counts(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=0, pinned=False)
+        table.migrate(1, 3)
+        table.migrate(1, 3)  # same core: not a migration
+        assert table.core_of(1) == 3
+        assert table.migrations_of(1) == 1
+
+    def test_unpin_then_migrate(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=0)
+        table.unpin(1)
+        table.migrate(1, 1)
+        assert table.core_of(1) == 1
+
+    def test_exit_removes(self):
+        table = ProcessTable(4)
+        table.spawn(1, core=0)
+        table.exit(1)
+        with pytest.raises(SimulationError):
+            table.core_of(1)
+        with pytest.raises(SimulationError):
+            table.exit(1)
+
+    def test_core_bounds_checked(self):
+        table = ProcessTable(4)
+        with pytest.raises(SimulationError):
+            table.spawn(1, core=4)

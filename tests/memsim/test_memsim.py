@@ -1,0 +1,100 @@
+"""Tests for the Section VI memory simulation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.memsim import (
+    MemsimConfig,
+    run_memsim_point,
+    sweep_applications,
+)
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def small():
+    return MemsimConfig(per_app_bytes=4 * MiB)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        MemsimConfig()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigError):
+            MemsimConfig(n_cores=0)
+        with pytest.raises(ConfigError):
+            MemsimConfig(read_miss=1.5)
+        with pytest.raises(ConfigError):
+            MemsimConfig(per_app_bytes=1)
+        with pytest.raises(ConfigError):
+            MemsimConfig(transfer_size=100_000)  # not strip multiple
+
+    def test_cache_hot_fraction_full_below_one_thread_per_core(self):
+        cfg = MemsimConfig()
+        assert cfg.cache_hot_fraction(4, threads_per_app=2) == 1.0
+
+    def test_cache_hot_fraction_decays_with_oversubscription(self):
+        cfg = MemsimConfig()
+        assert cfg.cache_hot_fraction(8, 2) == pytest.approx(0.5)
+        assert cfg.cache_hot_fraction(16, 2) == pytest.approx(0.25)
+
+
+class TestRunPoint:
+    def test_moves_all_bytes(self, small):
+        metrics = run_memsim_point("si_sais", 2, small)
+        assert metrics.bytes_combined == 2 * small.per_app_bytes
+        assert metrics.bandwidth > 0
+
+    def test_unknown_scheme_rejected(self, small):
+        with pytest.raises(ConfigError):
+            run_memsim_point("nope", 1, small)
+
+    def test_zero_apps_rejected(self, small):
+        with pytest.raises(ConfigError):
+            run_memsim_point("si_sais", 0, small)
+
+    def test_deterministic(self, small):
+        a = run_memsim_point("si_sais", 3, small)
+        b = run_memsim_point("si_sais", 3, small)
+        assert a.elapsed == b.elapsed
+        assert a.bandwidth == b.bandwidth
+
+    def test_sais_beats_irqbalance_below_saturation(self, small):
+        sais = run_memsim_point("si_sais", 2, small)
+        irq = run_memsim_point("si_irqbalance", 2, small)
+        assert sais.bandwidth > irq.bandwidth
+
+    def test_sais_lower_miss_rate(self, small):
+        sais = run_memsim_point("si_sais", 2, small)
+        irq = run_memsim_point("si_irqbalance", 2, small)
+        assert sais.l2_miss_rate < irq.l2_miss_rate
+
+    def test_bandwidth_scales_then_saturates(self, small):
+        one = run_memsim_point("si_sais", 1, small)
+        two = run_memsim_point("si_sais", 2, small)
+        sixteen = run_memsim_point("si_sais", 16, small)
+        assert two.bandwidth == pytest.approx(2 * one.bandwidth, rel=0.10)
+        assert sixteen.bandwidth < 4 * one.bandwidth
+
+    def test_membus_never_overcommitted(self, small):
+        metrics = run_memsim_point("si_irqbalance", 8, small)
+        assert metrics.membus_busy_fraction <= 1.0 + 1e-9
+
+    def test_utilization_bounded(self, small):
+        for scheme in ("si_sais", "si_irqbalance"):
+            metrics = run_memsim_point(scheme, 8, small)
+            assert 0 < metrics.cpu_utilization <= 1.0
+
+
+class TestSweep:
+    def test_sweep_shape(self, small):
+        result = sweep_applications((1, 4), small)
+        assert set(result) == {"si_sais", "si_irqbalance"}
+        assert [m.n_apps for m in result["si_sais"]] == [1, 4]
+
+    def test_convergence_at_high_app_counts(self, small):
+        result = sweep_applications((16,), small)
+        sais = result["si_sais"][0].bandwidth
+        irq = result["si_irqbalance"][0].bandwidth
+        assert abs(sais / irq - 1) < 0.10

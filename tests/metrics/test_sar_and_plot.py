@@ -1,0 +1,171 @@
+"""Tests for the sar-style sampler and the ASCII plotting helpers."""
+
+import pytest
+
+from repro import ClusterConfig, WorkloadConfig
+from repro.cluster.builder import build_cluster
+from repro.des import AllOf, Environment
+from repro.errors import ConfigError, ReproError, SimulationError
+from repro.hw.core import Core
+from repro.metrics.ascii_plot import bar_chart, grouped_bars, plot_result
+from repro.metrics.sar import SarSampler
+from repro.units import GHz, KiB, MiB
+from repro.workloads import spawn_ior_processes
+
+
+class TestSarSamplerUnit:
+    def test_idle_machine_samples_zero(self):
+        env = Environment()
+        cores = [Core(env, i, 2 * GHz) for i in range(2)]
+        sampler = SarSampler(env, cores, interval=1.0)
+        env.run(until=3.5)
+        assert len(sampler.samples) == 3
+        assert sampler.mean_utilization() == 0.0
+
+    def test_busy_core_sampled(self):
+        env = Environment()
+        cores = [Core(env, i, 2 * GHz) for i in range(2)]
+        sampler = SarSampler(env, cores, interval=1.0)
+        env.process(cores[0].run(2.0, "work"))
+        env.run(until=4.0)
+        # Core 0 busy for intervals 1 and 2, idle after.
+        assert sampler.samples[0].utilization == pytest.approx(0.5)
+        assert sampler.samples[1].utilization == pytest.approx(0.5)
+        assert sampler.samples[3].utilization == pytest.approx(0.0)
+
+    def test_per_core_breakdown(self):
+        env = Environment()
+        cores = [Core(env, i, 2 * GHz) for i in range(2)]
+        sampler = SarSampler(env, cores, interval=1.0)
+        env.process(cores[1].run(1.0, "work"))
+        env.run(until=1.0)
+        env.run(until=1.5)
+        assert sampler.samples[0].per_core == (0.0, pytest.approx(1.0))
+
+    def test_summaries_require_samples(self):
+        env = Environment()
+        sampler = SarSampler(env, [Core(env, 0, 2 * GHz)], interval=1.0)
+        with pytest.raises(SimulationError):
+            sampler.mean_utilization()
+
+    def test_invalid_interval(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            SarSampler(env, [Core(env, 0, 2 * GHz)], interval=0)
+
+
+class TestSarOnCluster:
+    def run_sampled(self, policy):
+        config = ClusterConfig(
+            n_servers=16,
+            policy=policy,
+            workload=WorkloadConfig(
+                n_processes=8, transfer_size=1 * MiB, file_size=4 * MiB
+            ),
+        )
+        cluster = build_cluster(config)
+        sampler = SarSampler(
+            cluster.env, cluster.clients[0].cores, interval=5e-3
+        )
+        procs = spawn_ior_processes(cluster.clients[0], config.workload)
+        cluster.env.run(until=AllOf(cluster.env, procs))
+        return sampler
+
+    def test_sampled_mean_tracks_final_utilization(self):
+        sampler = self.run_sampled("irqbalance")
+        assert 0.05 < sampler.mean_utilization() < 0.6
+
+    def test_dedicated_concentrates_load(self):
+        balanced = self.run_sampled("irqbalance")
+        dedicated = self.run_sampled("dedicated")
+        assert dedicated.core_imbalance() > balanced.core_imbalance()
+
+
+class TestAsciiPlot:
+    def test_bar_chart_renders_each_label(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], title="T")
+        assert chart.startswith("T")
+        assert "a" in chart and "bb" in chart
+        assert chart.count("\n") == 2
+
+    def test_largest_bar_is_longest(self):
+        chart = bar_chart(["x", "y"], [1.0, 4.0]).splitlines()
+        assert chart[1].count("█") > chart[0].count("█")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart([], [])
+
+    def test_grouped_bars(self):
+        chart = grouped_bars(
+            ["p1", "p2"],
+            {"irq": [1.0, 2.0], "sais": [1.5, 2.5]},
+        )
+        assert chart.count("irq") == 2
+        assert chart.count("sais") == 2
+
+    def test_grouped_series_length_checked(self):
+        with pytest.raises(ReproError):
+            grouped_bars(["a"], {"s": [1.0, 2.0]})
+
+    def test_plot_result_picks_measurement_pair(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            exp_id="x",
+            title="T",
+            headers=("servers", "irq MB/s", "SAIs MB/s", "speed-up"),
+            rows=((8, "100.0", "120.0", "+20.0%"), (16, "110.0", "140.0", "+27%")),
+            paper={},
+            measured={},
+        )
+        chart = plot_result(result)
+        assert "irq MB/s" in chart and "SAIs MB/s" in chart
+        assert "120" in chart
+
+    def test_heat_strip_levels(self):
+        from repro.metrics import heat_strip
+
+        strip = heat_strip([0.0, 0.5, 1.0])
+        assert len(strip) == 3
+        assert strip[0] == " "
+        assert strip[2] == "█"
+
+    def test_heat_strip_clamps_out_of_range(self):
+        from repro.metrics import heat_strip
+
+        strip = heat_strip([-1.0, 2.0])
+        assert strip == " █"
+
+    def test_heat_strip_empty_rejected(self):
+        from repro.metrics import heat_strip
+
+        with pytest.raises(ReproError):
+            heat_strip([])
+
+    def test_core_heatmap_one_row_per_core(self):
+        from repro.metrics import core_heatmap
+
+        rendered = core_heatmap([[0.0, 1.0], [1.0, 0.0]])
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert "core 0" in lines[0] and "core 1" in lines[1]
+
+    def test_core_heatmap_label_mismatch(self):
+        from repro.metrics import core_heatmap
+
+        with pytest.raises(ReproError):
+            core_heatmap([[0.5]], labels=["a", "b"])
+
+    def test_plot_result_empty_rows_rejected(self):
+        from repro.experiments.base import ExperimentResult
+
+        result = ExperimentResult(
+            exp_id="x", title="T", headers=("a",), rows=(), paper={}, measured={}
+        )
+        with pytest.raises(ReproError):
+            plot_result(result)

@@ -1,0 +1,125 @@
+"""Tests for per-strip lifecycle tracing."""
+
+import pytest
+
+from repro import ClusterConfig, WorkloadConfig
+from repro.cluster.simulation import Simulation
+from repro.errors import SimulationError
+from repro.metrics.trace import STAGES, Tracer
+from repro.units import KiB, MiB
+
+
+class TestTracerUnit:
+    def test_record_and_count(self):
+        tracer = Tracer()
+        tracer.record(0, 1, "issued", 0.0)
+        tracer.record(0, 2, "issued", 0.0)
+        assert len(tracer) == 2
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(SimulationError):
+            Tracer().record(0, 1, "teleported", 0.0)
+
+    def test_breakdown_requires_complete_strips(self):
+        tracer = Tracer()
+        tracer.record(0, 1, "issued", 0.0)
+        with pytest.raises(SimulationError):
+            tracer.breakdown()
+
+    def test_breakdown_deltas(self):
+        tracer = Tracer()
+        for i, stage in enumerate(STAGES):
+            tracer.record(0, 1, stage, float(i))
+        breakdown = tracer.breakdown()
+        assert breakdown.strips_traced == 1
+        assert breakdown.mean_total == pytest.approx(len(STAGES) - 1)
+        assert breakdown.mean_of("issued", "served") == pytest.approx(1.0)
+
+    def test_incomplete_strips_excluded(self):
+        tracer = Tracer()
+        for i, stage in enumerate(STAGES):
+            tracer.record(0, 1, stage, float(i))
+        tracer.record(0, 2, "issued", 0.0)  # never completes
+        assert tracer.complete_strips() == 1
+        assert tracer.breakdown().strips_traced == 1
+
+    def test_labels(self):
+        tracer = Tracer()
+        tracer.label(0, 7, "remote")
+        assert tracer.labels[(0, 7)] == "remote"
+
+    def test_unknown_delta_query(self):
+        tracer = Tracer()
+        for i, stage in enumerate(STAGES):
+            tracer.record(0, 1, stage, float(i))
+        with pytest.raises(SimulationError):
+            tracer.breakdown().mean_of("merged", "issued")
+
+
+class TestTracerIntegration:
+    @pytest.fixture(scope="class")
+    def traced_sim(self):
+        config = ClusterConfig(
+            n_servers=8,
+            trace=True,
+            workload=WorkloadConfig(
+                n_processes=2, transfer_size=512 * KiB, file_size=1 * MiB
+            ),
+        )
+        sim = Simulation(config)
+        sim.run()
+        return sim
+
+    def test_every_strip_fully_traced(self, traced_sim):
+        tracer = traced_sim.cluster.tracer
+        workload = traced_sim.config.workload
+        expected = (
+            workload.n_processes
+            * workload.file_size
+            // traced_sim.config.strip_size
+        )
+        assert tracer.complete_strips() == expected
+
+    def test_stage_order_monotone(self, traced_sim):
+        breakdown = traced_sim.cluster.tracer.breakdown()
+        for delta in breakdown.deltas:
+            assert delta.mean >= 0
+            assert delta.maximum >= delta.p95 >= 0
+
+    def test_labels_match_policy(self, traced_sim):
+        # irqbalance: most strips are consumed remotely.
+        labels = list(traced_sim.cluster.tracer.labels.values())
+        assert labels.count("remote") > labels.count("local")
+
+    def test_tracing_off_by_default(self):
+        sim = Simulation(
+            ClusterConfig(
+                n_servers=8,
+                workload=WorkloadConfig(
+                    n_processes=1, transfer_size=256 * KiB, file_size=256 * KiB
+                ),
+            )
+        )
+        sim.run()
+        assert sim.cluster.tracer is None
+
+    def test_sais_merge_delta_smaller_than_irqbalance(self):
+        def traced_breakdown(policy):
+            config = ClusterConfig(
+                n_servers=16,
+                policy=policy,
+                trace=True,
+                workload=WorkloadConfig(
+                    n_processes=4, transfer_size=1 * MiB, file_size=4 * MiB
+                ),
+            )
+            sim = Simulation(config)
+            sim.run()
+            return sim.cluster.tracer.breakdown()
+
+        irq = traced_breakdown("irqbalance")
+        sais = traced_breakdown("source_aware")
+        # The handled->merged delta carries TM: SAIs must be far cheaper.
+        assert sais.mean_of("handled", "merged") < 0.5 * irq.mean_of(
+            "handled", "merged"
+        )

@@ -1,0 +1,82 @@
+"""Tests for the bit-exact Fig. 4 aff_core_id IP-option encoding."""
+
+import pytest
+
+from repro.errors import CoreIdOutOfRangeError, ProtocolError
+from repro.net.ip_options import (
+    EOL,
+    MAX_ENCODABLE_CORES,
+    decode_aff_core_id,
+    encode_aff_core_id,
+    option_byte,
+)
+
+
+class TestOptionByte:
+    def test_copied_flag_set(self):
+        assert option_byte(0) & 0b1000_0000
+
+    def test_option_class_is_one(self):
+        assert (option_byte(0) & 0b0110_0000) >> 5 == 1
+
+    def test_number_field_carries_core_id(self):
+        for core in range(MAX_ENCODABLE_CORES):
+            assert option_byte(core) & 0b0001_1111 == core
+
+    def test_core_zero_encodes_to_0xa0(self):
+        assert option_byte(0) == 0xA0
+
+    def test_core_31_encodes_to_0xbf(self):
+        assert option_byte(31) == 0xBF
+
+    @pytest.mark.parametrize("bad", [-1, 32, 100])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(CoreIdOutOfRangeError):
+            option_byte(bad)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ProtocolError):
+            option_byte("3")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProtocolError):
+            option_byte(True)
+
+
+class TestEncode:
+    def test_four_octet_field(self):
+        assert len(encode_aff_core_id(5)) == 4
+
+    def test_layout_option_eol_padding(self):
+        encoded = encode_aff_core_id(5)
+        assert encoded[0] == option_byte(5)
+        assert encoded[1] == EOL
+        assert encoded[2:] == b"\x00\x00"
+
+    def test_max_32_cores(self):
+        encode_aff_core_id(MAX_ENCODABLE_CORES - 1)
+        with pytest.raises(CoreIdOutOfRangeError):
+            encode_aff_core_id(MAX_ENCODABLE_CORES)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("core", [0, 1, 7, 15, 31])
+    def test_roundtrip(self, core):
+        assert decode_aff_core_id(encode_aff_core_id(core)) == core
+
+    def test_empty_options_means_no_hint(self):
+        assert decode_aff_core_id(b"") is None
+
+    def test_eol_only_means_no_hint(self):
+        assert decode_aff_core_id(bytes([EOL])) is None
+
+    def test_nop_then_sais_option(self):
+        assert decode_aff_core_id(bytes([0x01, option_byte(9), EOL])) == 9
+
+    def test_unknown_option_raises(self):
+        # 0x44: copied=0, class=2 -> not SAIs, not NOP/EOL.
+        with pytest.raises(ProtocolError):
+            decode_aff_core_id(bytes([0x44]))
+
+    def test_trailing_nops_without_option(self):
+        assert decode_aff_core_id(bytes([0x01, 0x01])) is None

@@ -1,0 +1,179 @@
+"""Tests for packets, links, the switch and the TCP stream model."""
+
+import pytest
+
+from repro.des import Environment
+from repro.errors import ProtocolError
+from repro.net import Link, Packet, Switch, TcpStream, segment_sizes
+from repro.units import KiB, MiB
+
+
+def make_packet(size=64 * KiB, server=0, strip=0, **kw):
+    return Packet(
+        size=size,
+        src_server=server,
+        dst_client=0,
+        request_id=1,
+        strip_id=strip,
+        **kw,
+    )
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPacket:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ProtocolError):
+            make_packet(size=0)
+
+    def test_rejects_bad_segmentation(self):
+        with pytest.raises(ProtocolError):
+            make_packet(segment=2, n_segments=2)
+
+    def test_is_last_segment(self):
+        assert make_packet(segment=1, n_segments=2).is_last_segment
+        assert not make_packet(segment=0, n_segments=2).is_last_segment
+
+    def test_default_no_options(self):
+        assert make_packet().options == b""
+
+
+class TestLink:
+    def test_serialization_time(self, env):
+        link = Link(env, bandwidth=1 * MiB)
+        assert link.serialization_time(512 * KiB) == pytest.approx(0.5)
+
+    def test_framing_overhead_inflates_wire_time(self, env):
+        plain = Link(env, bandwidth=1 * MiB)
+        framed = Link(env, bandwidth=1 * MiB, framing_overhead=0.06)
+        assert framed.serialization_time(MiB) == pytest.approx(
+            1.06 * plain.serialization_time(MiB)
+        )
+
+    def test_transmit_delivers_after_latency(self, env):
+        link = Link(env, bandwidth=1 * MiB, latency=0.25)
+        arrivals = []
+
+        def deliver(packet):
+            arrivals.append((env.now, packet))
+
+        env.process(link.transmit(make_packet(size=1 * MiB), deliver))
+        env.run()
+        assert len(arrivals) == 1
+        assert arrivals[0][0] == pytest.approx(1.25)
+
+    def test_back_to_back_packets_pipeline(self, env):
+        # Serialization serializes but propagation overlaps.
+        link = Link(env, bandwidth=1 * MiB, latency=1.0)
+        arrivals = []
+        env.process(link.transmit(make_packet(size=1 * MiB), lambda p: arrivals.append(env.now)))
+        env.process(link.transmit(make_packet(size=1 * MiB), lambda p: arrivals.append(env.now)))
+        env.run()
+        assert arrivals == [pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_generator_delivery_is_driven(self, env):
+        link = Link(env, bandwidth=1 * MiB)
+        done = []
+
+        def deliver(packet):
+            yield env.timeout(1.0)
+            done.append(env.now)
+
+        env.process(link.transmit(make_packet(size=1 * MiB), deliver))
+        env.run()
+        assert done == [pytest.approx(2.0)]
+
+    def test_counters(self, env):
+        link = Link(env, bandwidth=1 * MiB)
+        env.process(link.transmit(make_packet(size=64 * KiB), lambda p: None))
+        env.run()
+        assert link.bytes_sent.value == 64 * KiB
+        assert link.packets_sent.value == 1
+
+    def test_invalid_bandwidth(self, env):
+        with pytest.raises(ValueError):
+            Link(env, bandwidth=0)
+
+
+class TestSwitch:
+    def test_forward_charges_backplane(self, env):
+        switch = Switch(env, backplane_bandwidth=1 * MiB)
+        arrivals = []
+        env.process(
+            switch.forward(make_packet(size=1 * MiB), lambda p: arrivals.append(env.now))
+        )
+        env.run()
+        assert arrivals == [pytest.approx(1.0)]
+
+    def test_latency(self, env):
+        switch = Switch(env, backplane_bandwidth=1 * MiB, latency=0.5)
+        arrivals = []
+        env.process(
+            switch.forward(make_packet(size=1 * MiB), lambda p: arrivals.append(env.now))
+        )
+        env.run()
+        assert arrivals == [pytest.approx(1.5)]
+
+
+class TestSegmentSizes:
+    def test_exact_division(self):
+        assert segment_sizes(8, 4) == [4, 4]
+
+    def test_remainder(self):
+        assert segment_sizes(10, 4) == [4, 4, 2]
+
+    def test_smaller_than_mss(self):
+        assert segment_sizes(3, 1500) == [3]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ProtocolError):
+            segment_sizes(0, 4)
+        with pytest.raises(ProtocolError):
+            segment_sizes(4, 0)
+
+
+class TestTcpStream:
+    def test_single_segment_strip_completes_immediately(self):
+        stream = TcpStream(server=0, client=0)
+        assert stream.deliver(make_packet()) is True
+        assert stream.strips_completed == 1
+
+    def test_multi_segment_strip(self):
+        stream = TcpStream(server=0, client=0)
+        base = make_packet(size=3000, strip=5)
+        segments = stream.segments_for_strip(base, mss=1500)
+        assert len(segments) == 2
+        assert stream.deliver(segments[0]) is False
+        assert stream.deliver(segments[1]) is True
+
+    def test_no_mss_means_single_train(self):
+        stream = TcpStream(server=0, client=0)
+        segments = stream.segments_for_strip(make_packet(size=64 * KiB), mss=None)
+        assert len(segments) == 1
+        assert segments[0].n_segments == 1
+
+    def test_duplicate_segment_rejected(self):
+        stream = TcpStream(server=0, client=0)
+        packet = make_packet(segment=0, n_segments=2)
+        stream.deliver(packet)
+        with pytest.raises(ProtocolError):
+            stream.deliver(packet)
+
+    def test_wrong_stream_rejected(self):
+        stream = TcpStream(server=1, client=0)
+        with pytest.raises(ProtocolError):
+            stream.deliver(make_packet(server=0))
+
+    def test_sequence_numbers_monotone(self):
+        stream = TcpStream(server=0, client=0)
+        assert [stream.next_sequence() for _ in range(3)] == [0, 1, 2]
+
+    def test_in_flight_tracking(self):
+        stream = TcpStream(server=0, client=0)
+        base = make_packet(size=3000, strip=7)
+        segments = stream.segments_for_strip(base, mss=1500)
+        stream.deliver(segments[0])
+        assert list(stream.in_flight_strips()) == [7]

@@ -1,0 +1,257 @@
+"""Tests for the PFS client fan-out, metadata server and I/O server."""
+
+import pytest
+
+from repro.config import ServerConfig
+from repro.core.sais import HintCapsuler, HintMessager
+from repro.des import Environment
+from repro.errors import ConfigError, SimulationError
+from repro.net import Link, Packet, decode_aff_core_id
+from repro.pfs import MetadataServer, PfsClient, StripeLayout
+from repro.pfs.server import IoServer
+from repro.rng import RngFactory
+from repro.units import KiB, MiB
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def layout():
+    return StripeLayout(strip_size=64 * KiB, n_servers=4)
+
+
+class TestPfsClient:
+    def make_client(self, env, layout, hint=False):
+        submitted = []
+        client = PfsClient(
+            env,
+            client_index=0,
+            layout=layout,
+            submit=submitted.append,
+            hint_messager=HintMessager() if hint else None,
+        )
+        return client, submitted
+
+    def test_issue_fans_out_one_strip_request_per_extent(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        outstanding = client.issue(offset=0, size=256 * KiB, consumer_core=2)
+        assert outstanding.expected == 4
+        assert len(submitted) == 4
+        assert {req.server for req in submitted} == {0, 1, 2, 3}
+
+    def test_strip_tokens_are_unique_across_requests(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        client.issue(0, 128 * KiB, consumer_core=0)
+        client.issue(0, 128 * KiB, consumer_core=1)  # same byte range
+        tokens = [req.strip_id for req in submitted]
+        assert len(tokens) == len(set(tokens))
+
+    def test_hints_attached_when_sais_enabled(self, env, layout):
+        client, submitted = self.make_client(env, layout, hint=True)
+        client.issue(0, 128 * KiB, consumer_core=5)
+        assert all(req.hint_aff_core_id == 5 for req in submitted)
+
+    def test_no_hints_on_stock_client(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        client.issue(0, 128 * KiB, consumer_core=5)
+        assert all(req.hint_aff_core_id is None for req in submitted)
+        assert all(req.issuing_core == 5 for req in submitted)
+
+    def test_strip_arrival_flows_to_consumer_queue(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        outstanding = client.issue(0, 128 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=submitted[0].strip_id,
+        )
+        client.strip_arrived(packet, handled_on=3)
+        got = outstanding.arrivals.get()
+        env.run()
+        assert got.value.handled_on == 3
+        assert outstanding.arrived == 1
+        assert not outstanding.complete
+
+    def test_unknown_request_arrival_rejected(self, env, layout):
+        client, _ = self.make_client(env, layout)
+        packet = Packet(
+            size=64 * KiB, src_server=0, dst_client=0, request_id=999, strip_id=0
+        )
+        with pytest.raises(SimulationError):
+            client.strip_arrived(packet, handled_on=0)
+
+    def test_too_many_arrivals_rejected(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        outstanding = client.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=submitted[0].strip_id,
+        )
+        client.strip_arrived(packet, handled_on=0)
+        with pytest.raises(SimulationError):
+            client.strip_arrived(packet, handled_on=0)
+
+    def test_retire_requires_completion(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        outstanding = client.issue(0, 128 * KiB, consumer_core=0)
+        with pytest.raises(SimulationError):
+            client.retire(outstanding.request.request_id)
+
+    def test_retire_cleans_tracking(self, env, layout):
+        client, submitted = self.make_client(env, layout)
+        outstanding = client.issue(0, 64 * KiB, consumer_core=0)
+        packet = Packet(
+            size=64 * KiB,
+            src_server=0,
+            dst_client=0,
+            request_id=outstanding.request.request_id,
+            strip_id=submitted[0].strip_id,
+        )
+        client.strip_arrived(packet, handled_on=0)
+        client.retire(outstanding.request.request_id)
+        assert client.in_flight == 0
+        with pytest.raises(SimulationError):
+            client.retire(outstanding.request.request_id)
+
+    def test_locate_request(self, env, layout):
+        client, _ = self.make_client(env, layout)
+        outstanding = client.issue(0, 64 * KiB, consumer_core=6)
+        assert client.locate_request(outstanding.request.request_id) == 6
+        assert client.locate_request(12345) is None
+
+
+class TestMetadataServer:
+    def test_create_and_lookup(self, env, layout):
+        meta_server = MetadataServer(env, service_time=0.001)
+        meta_server.create("ior.dat", 10 * MiB, layout)
+
+        def reader(env):
+            meta = yield from meta_server.lookup("ior.dat")
+            return meta
+
+        proc = env.process(reader(env))
+        meta = env.run(until=proc)
+        assert meta.size == 10 * MiB
+        assert env.now == pytest.approx(0.001)
+
+    def test_lookup_unknown_file(self, env):
+        meta_server = MetadataServer(env)
+        with pytest.raises(ConfigError):
+            list(meta_server.lookup("nope"))
+
+    def test_duplicate_create_rejected(self, env, layout):
+        meta_server = MetadataServer(env)
+        meta_server.create("f", 1 * MiB, layout)
+        with pytest.raises(ConfigError):
+            meta_server.create("f", 1 * MiB, layout)
+
+    def test_lookups_serialize(self, env, layout):
+        meta_server = MetadataServer(env, service_time=0.5)
+        meta_server.create("f", 1 * MiB, layout)
+
+        def reader(env):
+            yield from meta_server.lookup("f")
+
+        env.process(reader(env))
+        env.process(reader(env))
+        env.run()
+        assert env.now == pytest.approx(1.0)
+        assert meta_server.lookups.value == 2
+
+
+class TestIoServer:
+    def make_server(self, env, capsuler=None, **config_kwargs):
+        delivered = []
+        uplink = Link(env, bandwidth=125 * MiB, name="uplink")
+        server = IoServer(
+            env,
+            index=0,
+            config=ServerConfig(**config_kwargs),
+            uplink=uplink,
+            deliver=delivered.append,
+            rng=RngFactory(1).stream("server0"),
+            capsuler=capsuler,
+        )
+        return server, delivered
+
+    def request(self, server=0, size=64 * KiB, offset=0, hint=None):
+        from repro.pfs.request import StripRequest
+
+        return StripRequest(
+            request_id=1,
+            client=0,
+            server=server,
+            strip_id=7,
+            offset=offset,
+            size=size,
+            hint_aff_core_id=hint,
+            issuing_core=2,
+        )
+
+    def test_serves_strip_as_packet(self, env):
+        server, delivered = self.make_server(env)
+        env.process(server.serve(self.request()))
+        env.run()
+        assert len(delivered) == 1
+        packet = delivered[0]
+        assert packet.size == 64 * KiB
+        assert packet.strip_id == 7
+        assert packet.request_core == 2
+        assert server.strips_served.value == 1
+
+    def test_wrong_server_rejected(self, env):
+        server, _ = self.make_server(env)
+        with pytest.raises(ValueError):
+            list(server.serve(self.request(server=3)))
+
+    def test_capsuler_stamps_options(self, env):
+        server, delivered = self.make_server(env, capsuler=HintCapsuler())
+        env.process(server.serve(self.request(hint=4)))
+        env.run()
+        assert decode_aff_core_id(delivered[0].options) == 4
+
+    def test_no_capsuler_no_options(self, env):
+        server, delivered = self.make_server(env)
+        env.process(server.serve(self.request(hint=4)))
+        env.run()
+        assert delivered[0].options == b""
+
+    def test_page_cache_hit_is_deterministic_per_offset(self, env):
+        server, _ = self.make_server(env, cache_hit_ratio=0.5)
+        before = server.cache_hits.value
+
+        def drive(env):
+            yield from server.serve(self.request(offset=0))
+            yield from server.serve(self.request(offset=0))
+
+        env.process(drive(env))
+        env.run()
+        hits = server.cache_hits.value - before
+        assert hits in (0, 2)  # same offset -> same outcome both times
+
+    def test_all_hits_when_ratio_one(self, env):
+        server, _ = self.make_server(env, cache_hit_ratio=1.0)
+
+        def drive(env):
+            for offset in range(0, 10 * 64 * KiB, 64 * KiB):
+                yield from server.serve(self.request(offset=offset))
+
+        env.process(drive(env))
+        env.run()
+        assert server.cache_hits.value == 10
+        assert server.disk.requests.value == 0
+
+    def test_all_misses_when_ratio_zero(self, env):
+        server, _ = self.make_server(env, cache_hit_ratio=0.0)
+        env.process(server.serve(self.request()))
+        env.run()
+        assert server.cache_hits.value == 0
+        assert server.disk.requests.value == 1

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end and tells its story."""
+
+import contextlib
+import io
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    """Execute an example in-process and capture its stdout."""
+    buffer = io.StringIO()
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        with contextlib.redirect_stdout(buffer):
+            runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "bandwidth speed-up" in out
+    assert "irqbalance" in out and "SAIs" in out
+
+
+def test_policy_explorer():
+    out = run_example("policy_explorer.py")
+    for policy in ("irqbalance", "source_aware", "dedicated", "round_robin"):
+        assert policy in out
+
+
+def test_latency_anatomy():
+    out = run_example("latency_anatomy.py")
+    assert "handled -> merged" in out
+    assert "TOTAL" in out
+
+
+def test_analytic_explorer():
+    out = run_example("analytic_explorer.py")
+    assert "WIN" in out
+    assert "M/P" in out
+
+
+def test_memory_wall_probe():
+    out = run_example("memory_wall_probe.py")
+    assert "Si-SAIs peak" in out
+    assert "Gigabit/s" in out
+
+
+@pytest.mark.slow
+def test_server_scaling_campaign():
+    out = run_example("server_scaling_campaign.py", argv=["--nic-gigabits", "3"])
+    assert "speed-up" in out
+    assert "64" in out  # the largest sweep point printed
+
+
+@pytest.mark.slow
+def test_multi_client_saturation():
+    out = run_example("multi_client_saturation.py")
+    assert "Aggregate bandwidth" in out
+    assert "32" in out

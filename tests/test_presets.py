@@ -1,0 +1,66 @@
+"""Tests for the hardware-generation presets."""
+
+import pytest
+
+from repro.cluster import compare_policies, run_experiment
+from repro.config import ClusterConfig, WorkloadConfig
+from repro.presets import generation_configs, modern_datacenter, paper_testbed
+from repro.units import Gbit, MiB
+
+
+class TestPresetShapes:
+    def test_paper_testbed_is_the_default(self):
+        assert paper_testbed() == ClusterConfig()
+
+    def test_paper_testbed_accepts_overrides(self):
+        assert paper_testbed(n_servers=48).n_servers == 48
+
+    def test_modern_datacenter_topology(self):
+        config = modern_datacenter()
+        assert config.client.n_cores == 16
+        assert config.client.nic_bandwidth == pytest.approx(25 * Gbit)
+        assert config.server.disk_seek < 1e-3  # NVMe, not a spindle
+
+    def test_modern_m_over_p_still_large(self):
+        costs = modern_datacenter().costs
+        strip = 64 * 1024
+        m = costs.strip_migration_time(strip)
+        p = costs.strip_processing_time(strip)
+        assert m > 10 * p
+
+    def test_generation_sweep_materializes(self):
+        configs = generation_configs()
+        assert len(configs) == 3
+        for config in configs.values():
+            assert isinstance(config, ClusterConfig)
+
+
+class TestModernHardwareBehaviour:
+    def small(self, nic_gigabits):
+        return modern_datacenter(
+            nic_gigabits=nic_gigabits,
+            workload=WorkloadConfig(
+                n_processes=16, transfer_size=1 * MiB, file_size=4 * MiB
+            ),
+        )
+
+    def test_modern_cluster_runs(self):
+        metrics = run_experiment(self.small(25))
+        assert metrics.bytes_read == 16 * 4 * MiB
+
+    def test_win_grows_with_nic_generation(self):
+        ten_g = compare_policies(self.small(10))
+        twenty_five_g = compare_policies(self.small(25))
+        assert twenty_five_g.bandwidth_speedup > ten_g.bandwidth_speedup
+
+    def test_modern_win_exceeds_paper_era(self):
+        paper = compare_policies(
+            paper_testbed(
+                n_servers=32,
+                workload=WorkloadConfig(
+                    n_processes=8, transfer_size=1 * MiB, file_size=4 * MiB
+                ),
+            )
+        )
+        modern = compare_policies(self.small(25))
+        assert modern.bandwidth_speedup > paper.bandwidth_speedup

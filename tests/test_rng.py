@@ -1,0 +1,43 @@
+"""Tests for deterministic RNG streams."""
+
+from repro.rng import RngFactory
+
+
+def test_same_seed_same_stream():
+    a = RngFactory(42).stream("disk")
+    b = RngFactory(42).stream("disk")
+    assert [float(a.random()) for _ in range(5)] == [
+        float(b.random()) for _ in range(5)
+    ]
+
+
+def test_different_names_differ():
+    rngs = RngFactory(42)
+    a = rngs.stream("disk")
+    b = rngs.stream("network")
+    assert [float(a.random()) for _ in range(3)] != [
+        float(b.random()) for _ in range(3)
+    ]
+
+
+def test_different_seeds_differ():
+    a = RngFactory(1).stream("disk")
+    b = RngFactory(2).stream("disk")
+    assert float(a.random()) != float(b.random())
+
+
+def test_fork_is_deterministic():
+    a = RngFactory(7).fork(3).stream("x")
+    b = RngFactory(7).fork(3).stream("x")
+    assert float(a.random()) == float(b.random())
+
+
+def test_fork_changes_streams():
+    base = RngFactory(7)
+    a = base.fork(1).stream("x")
+    b = base.fork(2).stream("x")
+    assert float(a.random()) != float(b.random())
+
+
+def test_seed_property():
+    assert RngFactory(99).seed == 99

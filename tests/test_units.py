@@ -1,0 +1,82 @@
+"""Tests for unit constants and parsing helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import (
+    GiB,
+    Gbit,
+    KiB,
+    MiB,
+    bits_per_sec,
+    format_bandwidth,
+    format_size,
+    format_time,
+    parse_size,
+)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64K", 64 * KiB),
+            ("64KB", 64 * KiB),
+            ("64KiB", 64 * KiB),
+            ("128k", 128 * KiB),
+            ("1M", MiB),
+            ("2MB", 2 * MiB),
+            ("10G", 10 * GiB),
+            ("512", 512),
+            ("0", 0),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_size(4096) == 4096
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size(-1)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "12Q", "1.5.5M", "M"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            parse_size(bad)
+
+    def test_fractional_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_size("0.3")
+
+
+class TestFormat:
+    def test_format_size_round_units(self):
+        assert format_size(64 * KiB) == "64K"
+        assert format_size(MiB) == "1M"
+        assert format_size(3 * GiB) == "3G"
+        assert format_size(100) == "100B"
+
+    def test_format_size_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            format_size(-5)
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(250 * MiB) == "250.00 MB/s"
+
+    def test_format_time_units(self):
+        assert format_time(2.0).endswith(" s")
+        assert format_time(2e-3).endswith(" ms")
+        assert format_time(2e-6).endswith(" us")
+
+
+class TestBandwidthUnits:
+    def test_gbit_is_decimal(self):
+        assert Gbit == 125_000_000.0  # 1e9 bits -> bytes
+
+    def test_bits_per_sec(self):
+        assert bits_per_sec(Gbit) == pytest.approx(1e9)
+
+    def test_three_gigabit_nic(self):
+        assert bits_per_sec(3 * Gbit) == pytest.approx(3e9)
