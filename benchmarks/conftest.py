@@ -22,6 +22,21 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 #: a fast smoke pass or =full for longer runs.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default")
 
+#: Opt-in cache reuse: set REPRO_BENCH_CACHE=1 to route the benches
+#: through the parallel runner's on-disk result cache (default dir), or
+#: to a path to use that directory.  Off by default — a bench should
+#: normally measure the simulation, not a cache read.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "")
+
+
+def _run_for_bench(exp_id: str, scale: str):
+    if not BENCH_CACHE:
+        return run_experiment_by_id(exp_id, scale=scale)
+    from repro.runner import ExperimentRunner
+
+    cache_dir = None if BENCH_CACHE == "1" else BENCH_CACHE
+    return ExperimentRunner(jobs=1, cache_dir=cache_dir).run(exp_id, scale)
+
 
 @pytest.fixture
 def figure(benchmark):
@@ -29,9 +44,8 @@ def figure(benchmark):
 
     def run(exp_id: str):
         result = benchmark.pedantic(
-            run_experiment_by_id,
-            args=(exp_id,),
-            kwargs={"scale": SCALE},
+            _run_for_bench,
+            args=(exp_id, SCALE),
             rounds=1,
             iterations=1,
         )

@@ -1,0 +1,34 @@
+"""Repo-level pytest configuration: test tiers and golden-file updates.
+
+Tiers (see CONTRIBUTING.md):
+
+* ``tier1`` — the fast default suite; auto-applied to every test that is
+  not marked ``slow``, so ``pytest -m tier1`` and ``pytest -m "not slow"``
+  select the same set.
+* ``slow`` — scale-stress, calibration and long example campaigns.
+
+``--update-goldens`` rewrites the snapshot files consumed by
+``tests/experiments/test_golden_snapshots.py`` instead of asserting
+against them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden snapshot files instead of comparing",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.tier1)

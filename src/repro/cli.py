@@ -5,7 +5,15 @@ Usage::
     sais-repro list                       # show available experiments
     sais-repro run fig5_bandwidth_3g      # regenerate one figure
     sais-repro run all --scale quick      # everything, small runs
+    sais-repro run all --jobs 8           # fan grid points over 8 workers
+    sais-repro summary --jobs 4           # near-instant once cached
     python -m repro ...                   # same thing
+
+Results are cached content-addressed under ``--cache-dir`` (default
+``$REPRO_CACHE_DIR`` or ``~/.cache/sais-repro``); pass ``--no-cache`` to
+bypass reads and writes.  ``--jobs N`` output is byte-identical to
+``--jobs 1`` — grid points are deterministic and reassembled in grid
+order (see ``tests/experiments/test_determinism.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ import typing as t
 
 from . import __version__
 from .errors import ReproError
-from .experiments import all_experiment_ids, run_experiment_by_id
+from .experiments import all_experiment_ids
 from .experiments.base import SCALES
 
 __all__ = ["main"]
@@ -35,6 +43,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def positive_int(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_runner_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs",
+            type=positive_int,
+            default=1,
+            metavar="N",
+            help="worker processes for grid points (default: 1 = in-process)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help=(
+                "result cache directory (default: $REPRO_CACHE_DIR or "
+                "~/.cache/sais-repro)"
+            ),
+        )
+        command.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="bypass the result cache entirely (no reads, no writes)",
+        )
+        command.add_argument(
+            "--progress",
+            action="store_true",
+            help="print per-experiment progress lines to stderr",
+        )
+
     sub.add_parser("list", help="list available experiments")
 
     summary = sub.add_parser(
@@ -45,6 +90,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scale", choices=SCALES, default="quick",
         help="run-length preset (default: quick)",
     )
+    add_runner_options(summary)
 
     run = sub.add_parser("run", help="run experiments and print their tables")
     run.add_argument(
@@ -68,7 +114,35 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit machine-readable JSON instead of tables",
     )
+    add_runner_options(run)
     return parser
+
+
+def _make_runner(args: argparse.Namespace) -> "t.Any":
+    from .runner import ExperimentRunner
+
+    progress = None
+    if args.progress:
+
+        def progress(message: str) -> None:
+            print(f"sais-repro: {message}", file=sys.stderr)
+
+    return ExperimentRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+
+
+def _report_summary(summary: "t.Any") -> None:
+    cached = sum(1 for report in summary.reports if report.cached)
+    print(
+        f"sais-repro: {len(summary.reports)} experiment(s), "
+        f"{cached} from cache, {summary.executed_tasks} task(s) executed "
+        f"({summary.jobs} worker{'s' if summary.jobs != 1 else ''})",
+        file=sys.stderr,
+    )
 
 
 def main(argv: t.Sequence[str] | None = None) -> int:
@@ -83,13 +157,15 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     if args.command == "summary":
         from .metrics.report import render_table
 
+        summary = _make_runner(args).run_many(
+            all_experiment_ids(), scale=args.scale
+        )
         rows = []
-        for exp_id in all_experiment_ids():
-            result = run_experiment_by_id(exp_id, scale=args.scale)
+        for result in summary.results:
             for key, paper_value in result.paper.items():
                 measured = result.measured.get(key, float("nan"))
                 rows.append(
-                    (exp_id, key, f"{paper_value:g}", f"{measured:g}")
+                    (result.exp_id, key, f"{paper_value:g}", f"{measured:g}")
                 )
         print(
             render_table(
@@ -98,6 +174,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
                 title=f"SAIs reproduction summary (scale={args.scale})",
             )
         )
+        _report_summary(summary)
         return 0
 
     ids = list(args.experiments)
@@ -109,20 +186,19 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         print(f"available: {', '.join(all_experiment_ids())}", file=sys.stderr)
         return 2
 
+    run_summary = _make_runner(args).run_many(ids, scale=args.scale)
+    _report_summary(run_summary)
+
     if args.json:
         import json
 
-        payload = [
-            run_experiment_by_id(exp_id, scale=args.scale).to_dict()
-            for exp_id in ids
-        ]
+        payload = [result.to_dict() for result in run_summary.results]
         print(json.dumps(payload, indent=2))
         return 0
 
-    for index, exp_id in enumerate(ids):
+    for index, result in enumerate(run_summary.results):
         if index:
             print()
-        result = run_experiment_by_id(exp_id, scale=args.scale)
         print(result.render())
         if args.plot:
             from .metrics.ascii_plot import plot_result

@@ -21,11 +21,16 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..cluster.simulation import compare_policies, run_experiment
 from ..config import ClusterConfig, CostModel, WorkloadConfig
-from ..units import MiB
-from .base import ExperimentResult, register_experiment
-from .grids import nic_config
+from ..units import KiB, MiB
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
+from .grids import (
+    comparison_point_key,
+    nic_config,
+    run_comparison_point,
+    run_single_point,
+    single_point_key,
+)
 
 __all__ = ["run_ablation_policies", "run_ablation_costmodel"]
 
@@ -40,21 +45,27 @@ _POLICIES = (
 
 
 def _workload(scale: str) -> WorkloadConfig:
-    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[scale]
+    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[
+        resolve_scale(scale)
+    ]
     return WorkloadConfig(
         n_processes=8, transfer_size=1 * MiB, file_size=file_size
     )
 
 
-@register_experiment("ablation_policies")
-def run_ablation_policies(scale: str = "default") -> ExperimentResult:
-    """All registered scheduling policies on the Fig. 5 (48-server) point."""
+# -- ablation_policies -------------------------------------------------
+
+
+def _grid_policies(scale: str) -> tuple[ClusterConfig, ...]:
     config = ClusterConfig(
         n_servers=48, client=nic_config(3), workload=_workload(scale)
     )
+    return tuple(config.with_policy(policy) for policy in _POLICIES)
+
+
+def _assemble_policies(scale, specs, metrics_list) -> ExperimentResult:
     results = {
-        policy: run_experiment(config.with_policy(policy))
-        for policy in _POLICIES
+        config.policy: metrics for config, metrics in zip(specs, metrics_list)
     }
     baseline_bw = results["irqbalance"].bandwidth
     rows = tuple(
@@ -99,20 +110,42 @@ def run_ablation_policies(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("ablation_migration")
-def run_ablation_migration(scale: str = "default") -> ExperimentResult:
-    """Policy (i) vs (ii) as migration-during-I/O becomes common."""
-    rows = []
-    gains = {}
-    for probability in (0.0, 0.1, 0.3, 0.6):
+#: All registered scheduling policies on the Fig. 5 (48-server) point.
+run_ablation_policies = register_grid_experiment(
+    "ablation_policies",
+    grid=_grid_policies,
+    run_point=run_single_point,
+    assemble=_assemble_policies,
+    point_key=single_point_key,
+)
+
+
+# -- ablation_migration ------------------------------------------------
+
+_MIGRATION_PROBABILITIES = (0.0, 0.1, 0.3, 0.6)
+
+
+def _grid_migration(scale: str) -> tuple[ClusterConfig, ...]:
+    specs = []
+    for probability in _MIGRATION_PROBABILITIES:
         workload = dataclasses.replace(
             _workload(scale), migrate_during_io=probability
         )
         config = ClusterConfig(
             n_servers=16, client=nic_config(3), workload=workload
         )
-        policy_i = run_experiment(config.with_policy("source_aware"))
-        policy_ii = run_experiment(config.with_policy("source_aware_process"))
+        specs.append(config.with_policy("source_aware"))
+        specs.append(config.with_policy("source_aware_process"))
+    return tuple(specs)
+
+
+def _assemble_migration(scale, specs, metrics_list) -> ExperimentResult:
+    rows = []
+    gains = {}
+    pairs = list(zip(metrics_list[0::2], metrics_list[1::2]))
+    for probability, (policy_i, policy_ii) in zip(
+        _MIGRATION_PROBABILITIES, pairs
+    ):
         gain = policy_ii.bandwidth / policy_i.bandwidth - 1
         gains[probability] = gain
         rows.append(
@@ -155,18 +188,38 @@ def run_ablation_migration(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("ablation_write_path")
-def run_ablation_write(scale: str = "default") -> ExperimentResult:
-    """The write workload under both policies: the paper's scoping claim."""
+#: Policy (i) vs (ii) as migration-during-I/O becomes common.
+run_ablation_migration = register_grid_experiment(
+    "ablation_migration",
+    grid=_grid_migration,
+    run_point=run_single_point,
+    assemble=_assemble_migration,
+    point_key=single_point_key,
+)
+
+
+# -- ablation_write_path -----------------------------------------------
+
+_WRITE_SERVER_COUNTS = (16, 48)
+
+
+def _grid_write(scale: str) -> tuple[ClusterConfig, ...]:
     workload = dataclasses.replace(_workload(scale), operation="write")
-    rows = []
-    speedups = {}
-    for n_servers in (16, 48):
+    specs = []
+    for n_servers in _WRITE_SERVER_COUNTS:
         config = ClusterConfig(
             n_servers=n_servers, client=nic_config(3), workload=workload
         )
-        baseline = run_experiment(config.with_policy("irqbalance"))
-        treatment = run_experiment(config.with_policy("source_aware"))
+        specs.append(config.with_policy("irqbalance"))
+        specs.append(config.with_policy("source_aware"))
+    return tuple(specs)
+
+
+def _assemble_write(scale, specs, metrics_list) -> ExperimentResult:
+    rows = []
+    speedups = {}
+    pairs = list(zip(metrics_list[0::2], metrics_list[1::2]))
+    for n_servers, (baseline, treatment) in zip(_WRITE_SERVER_COUNTS, pairs):
         speedup = treatment.bandwidth / baseline.bandwidth - 1
         speedups[n_servers] = speedup
         rows.append(
@@ -200,8 +253,34 @@ def run_ablation_write(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("ablation_stripsize")
-def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
+#: The write workload under both policies: the paper's scoping claim.
+run_ablation_write = register_grid_experiment(
+    "ablation_write_path",
+    grid=_grid_write,
+    run_point=run_single_point,
+    assemble=_assemble_write,
+    point_key=single_point_key,
+)
+
+
+# -- ablation_stripsize ------------------------------------------------
+
+_STRIP_SIZES = (16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB)
+
+
+def _grid_stripsize(scale: str) -> tuple[ClusterConfig, ...]:
+    return tuple(
+        ClusterConfig(
+            n_servers=32,
+            client=nic_config(3),
+            workload=_workload(scale),
+            strip_size=strip_size,
+        )
+        for strip_size in _STRIP_SIZES
+    )
+
+
+def _assemble_stripsize(scale, specs, comparisons) -> ExperimentResult:
     """Sensitivity to the PVFS strip size (the paper fixes 64 KiB).
 
     Larger strips mean fewer, bigger interrupts: per-strip fixed costs
@@ -211,18 +290,9 @@ def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
     the SAIs advantage — is roughly strip-size-invariant, which is why
     the paper could fix 64 KiB without loss of generality.
     """
-    from ..units import KiB
-
     rows = []
     speedups = {}
-    for strip_size in (16 * KiB, 32 * KiB, 64 * KiB, 128 * KiB, 256 * KiB):
-        config = ClusterConfig(
-            n_servers=32,
-            client=nic_config(3),
-            workload=_workload(scale),
-            strip_size=strip_size,
-        )
-        comparison = compare_policies(config)
+    for strip_size, comparison in zip(_STRIP_SIZES, comparisons):
         speedups[strip_size] = comparison.bandwidth_speedup
         rows.append(
             (
@@ -233,10 +303,8 @@ def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
                 comparison.baseline.migrations,
             )
         )
-    from ..units import KiB as _KiB
-
     client_bound = {
-        size: value for size, value in speedups.items() if size >= 32 * _KiB
+        size: value for size, value in speedups.items() if size >= 32 * KiB
     }
     return ExperimentResult(
         exp_id="ablation_stripsize",
@@ -256,7 +324,7 @@ def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
                 max(client_bound.values()) - min(client_bound.values())
             )
             * 100,
-            "speedup_at_16k_pct": speedups[16 * _KiB] * 100,
+            "speedup_at_16k_pct": speedups[16 * KiB] * 100,
         },
         notes=(
             "At 16 KiB strips the 4x increase in per-strip server requests "
@@ -267,36 +335,61 @@ def run_ablation_stripsize(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("ablation_costmodel")
-def run_ablation_costmodel(scale: str = "default") -> ExperimentResult:
-    """SAIs advantage vs the M/P ratio and the NIC bandwidth."""
+#: Sensitivity to the PVFS strip size (the paper fixes 64 KiB).
+run_ablation_stripsize = register_grid_experiment(
+    "ablation_stripsize",
+    grid=_grid_stripsize,
+    run_point=run_comparison_point,
+    assemble=_assemble_stripsize,
+    point_key=comparison_point_key,
+)
+
+
+# -- ablation_costmodel ------------------------------------------------
+
+#: (c2c scale, label) rows of the cost-model sensitivity sweep.
+_COSTMODEL_SCALES = ((8.0, "M~P"), (2.0, "M=4P"), (1.0, "M=8P (default)"))
+_COSTMODEL_GIGABITS = (1, 3)
+
+
+def _grid_costmodel(scale: str) -> tuple[ClusterConfig, ...]:
     workload = _workload(scale)
+    base = CostModel()
+    specs = []
+    for c2c_scale, _ in _COSTMODEL_SCALES:
+        costs = dataclasses.replace(base, c2c_rate=base.c2c_rate * c2c_scale)
+        for gigabits in _COSTMODEL_GIGABITS:
+            specs.append(
+                ClusterConfig(
+                    n_servers=48,
+                    client=nic_config(gigabits),
+                    workload=workload,
+                    costs=costs,
+                )
+            )
+    return tuple(specs)
+
+
+def _assemble_costmodel(scale, specs, comparisons) -> ExperimentResult:
     rows = []
     speedups: dict[tuple[float, int], float] = {}
-    base = CostModel()
-    for c2c_scale, label in ((8.0, "M~P"), (2.0, "M=4P"), (1.0, "M=8P (default)")):
-        costs = dataclasses.replace(base, c2c_rate=base.c2c_rate * c2c_scale)
-        m_over_p = costs.strip_migration_time(65536) / costs.strip_processing_time(
-            65536
-        )
-        for gigabits in (1, 3):
-            config = ClusterConfig(
-                n_servers=48,
-                client=nic_config(gigabits),
-                workload=workload,
-                costs=costs,
-            )
-            baseline = run_experiment(config.with_policy("irqbalance"))
-            treatment = run_experiment(config.with_policy("source_aware"))
-            speedup = treatment.bandwidth / baseline.bandwidth - 1
+    comparison_iter = iter(zip(specs, comparisons))
+    for c2c_scale, label in _COSTMODEL_SCALES:
+        for gigabits in _COSTMODEL_GIGABITS:
+            config, comparison = next(comparison_iter)
+            costs = config.costs
+            m_over_p = costs.strip_migration_time(
+                65536
+            ) / costs.strip_processing_time(65536)
+            speedup = comparison.bandwidth_speedup
             speedups[(c2c_scale, gigabits)] = speedup
             rows.append(
                 (
                     label,
                     f"{m_over_p:.1f}",
                     f"{gigabits} Gb",
-                    f"{baseline.bandwidth / MiB:.1f}",
-                    f"{treatment.bandwidth / MiB:.1f}",
+                    f"{comparison.baseline.bandwidth / MiB:.1f}",
+                    f"{comparison.treatment.bandwidth / MiB:.1f}",
                     f"{speedup:+.2%}",
                 )
             )
@@ -320,3 +413,13 @@ def run_ablation_costmodel(scale: str = "default") -> ExperimentResult:
             ),
         },
     )
+
+
+#: SAIs advantage vs the M/P ratio and the NIC bandwidth.
+run_ablation_costmodel = register_grid_experiment(
+    "ablation_costmodel",
+    grid=_grid_costmodel,
+    run_point=run_comparison_point,
+    assemble=_assemble_costmodel,
+    point_key=comparison_point_key,
+)

@@ -1,4 +1,19 @@
-"""Experiment registry and the common result shape."""
+"""Experiment registry, the common result shape, and grid decomposition.
+
+Experiments come in two granularities:
+
+* the classic monolithic ``fn(scale) -> ExperimentResult`` registered via
+  :func:`register_experiment` — what the CLI and benches have always run;
+* the decomposed form registered via :func:`register_grid_experiment`:
+  a pure, cheap ``grid(scale) -> [spec, ...]`` of pickleable point specs,
+  a deterministic ``run_point(spec) -> row`` that does the heavy
+  simulation for one grid cell, and an ``assemble(scale, specs, rows)``
+  that folds the rows back into an :class:`ExperimentResult`.
+
+The decomposed form is what :mod:`repro.runner` fans out over a process
+pool; registering it also installs a serial compatibility wrapper under
+the same id, so ``run_experiment_by_id`` keeps working unchanged.
+"""
 
 from __future__ import annotations
 
@@ -10,10 +25,15 @@ from ..metrics.report import render_table
 
 __all__ = [
     "ExperimentResult",
+    "GridExperiment",
     "register_experiment",
+    "register_grid_experiment",
     "get_experiment",
+    "get_grid_experiment",
+    "has_grid_experiment",
     "run_experiment_by_id",
     "all_experiment_ids",
+    "resolve_scale",
     "SCALES",
 ]
 
@@ -25,6 +45,19 @@ SCALES = ("quick", "default", "full")
 ExperimentFn = t.Callable[[str], "ExperimentResult"]
 
 _REGISTRY: dict[str, ExperimentFn] = {}
+_GRID_REGISTRY: dict[str, "GridExperiment"] = {}
+
+
+def resolve_scale(scale: str) -> str:
+    """Validate a scale preset name, returning it unchanged.
+
+    Every experiment indexes ``SCALES``-keyed dicts; routing the lookup
+    key through this helper turns an unknown scale into a uniform
+    :class:`~repro.errors.ConfigError` instead of a bare ``KeyError``.
+    """
+    if scale not in SCALES:
+        raise ConfigError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return scale
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,6 +89,23 @@ class ExperimentResult:
             "notes": list(self.notes),
         }
 
+    @classmethod
+    def from_dict(cls, payload: dict[str, t.Any]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (used by the on-disk result cache).
+
+        Raises ``KeyError``/``TypeError`` on malformed payloads; callers
+        that cannot trust the payload (the cache) treat those as misses.
+        """
+        return cls(
+            exp_id=payload["exp_id"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            paper=dict(payload["paper"]),
+            measured=dict(payload["measured"]),
+            notes=tuple(payload["notes"]),
+        )
+
     def render(self) -> str:
         """Human-readable table + headline comparison."""
         lines = [render_table(self.headers, self.rows, title=self.title)]
@@ -84,6 +134,94 @@ def register_experiment(
     return decorate
 
 
+@dataclasses.dataclass(frozen=True)
+class GridExperiment:
+    """The decomposed (parallelizable) form of one experiment.
+
+    ``grid`` must be *pure and cheap*: it only builds pickleable point
+    specs (typically frozen config dataclasses), never runs simulations.
+    ``run_point`` carries the whole cost of one grid cell and must be
+    deterministic — same spec, same bits, in any process (the property
+    ``tests/experiments/test_determinism.py`` asserts).  ``point_key``
+    optionally names a point's computation so identical points shared by
+    several experiments (the Fig. 5–11 sweep family) execute once per
+    runner invocation.
+    """
+
+    exp_id: str
+    grid: t.Callable[[str], t.Sequence[t.Any]]
+    run_point: t.Callable[[t.Any], t.Any]
+    assemble: t.Callable[[str, t.Sequence[t.Any], t.Sequence[t.Any]], ExperimentResult]
+    point_key: t.Callable[[t.Any], str] | None = None
+
+    def run_serial(self, scale: str) -> ExperimentResult:
+        """The compatibility path: all points in-process, grid order."""
+        specs = tuple(self.grid(resolve_scale(scale)))
+        rows = [self.run_point(spec) for spec in specs]
+        return self.assemble(scale, specs, rows)
+
+    def keys(self, specs: t.Sequence[t.Any]) -> list[str]:
+        """Deduplication keys for ``specs`` (stable within one run)."""
+        if self.point_key is None:
+            return [f"{self.exp_id}#{index}" for index in range(len(specs))]
+        return [self.point_key(spec) for spec in specs]
+
+
+def register_grid_experiment(
+    exp_id: str,
+    *,
+    grid: t.Callable[[str], t.Sequence[t.Any]],
+    run_point: t.Callable[[t.Any], t.Any],
+    assemble: t.Callable[
+        [str, t.Sequence[t.Any], t.Sequence[t.Any]], ExperimentResult
+    ],
+    point_key: t.Callable[[t.Any], str] | None = None,
+) -> ExperimentFn:
+    """Register a decomposed experiment plus its serial compat wrapper.
+
+    Returns the ``fn(scale) -> ExperimentResult`` wrapper, which modules
+    keep exporting under their historical ``run_*`` names.
+    """
+    experiment = GridExperiment(
+        exp_id=exp_id,
+        grid=grid,
+        run_point=run_point,
+        assemble=assemble,
+        point_key=point_key,
+    )
+
+    def compat(scale: str = "default") -> ExperimentResult:
+        return experiment.run_serial(scale)
+
+    compat.__name__ = f"run_{exp_id}"
+    compat.__doc__ = f"Serial runner for the {exp_id!r} experiment."
+    register_experiment(exp_id)(compat)
+    _GRID_REGISTRY[exp_id] = experiment
+    return compat
+
+
+def get_grid_experiment(exp_id: str) -> GridExperiment:
+    """Look up the decomposed form of an experiment (for the pool runner)."""
+    try:
+        return _GRID_REGISTRY[exp_id]
+    except KeyError:
+        raise ConfigError(
+            f"experiment {exp_id!r} has no grid decomposition; "
+            f"available: {sorted(_GRID_REGISTRY)}"
+        ) from None
+
+
+def has_grid_experiment(exp_id: str) -> bool:
+    """Whether an experiment was registered in decomposed form."""
+    return exp_id in _GRID_REGISTRY
+
+
+def unregister_experiment(exp_id: str) -> None:
+    """Remove an experiment from both registries (test isolation hook)."""
+    _REGISTRY.pop(exp_id, None)
+    _GRID_REGISTRY.pop(exp_id, None)
+
+
 def get_experiment(exp_id: str) -> ExperimentFn:
     """Look an experiment up by id."""
     try:
@@ -96,9 +234,7 @@ def get_experiment(exp_id: str) -> ExperimentFn:
 
 def run_experiment_by_id(exp_id: str, scale: str = "default") -> ExperimentResult:
     """Run one experiment at the given scale."""
-    if scale not in SCALES:
-        raise ConfigError(f"unknown scale {scale!r}; expected one of {SCALES}")
-    return get_experiment(exp_id)(scale)
+    return get_experiment(exp_id)(resolve_scale(scale))
 
 
 def all_experiment_ids() -> list[str]:

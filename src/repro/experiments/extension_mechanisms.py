@@ -15,33 +15,42 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..cluster.simulation import compare_policies
 from ..config import ClientConfig, ClusterConfig, WorkloadConfig
 from ..units import MiB
-from .base import ExperimentResult, register_experiment
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
+from .grids import comparison_point_key, run_comparison_point
 
 __all__ = ["run_napi", "run_collective"]
 
 
 def _workload(scale: str) -> WorkloadConfig:
-    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[scale]
+    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[
+        resolve_scale(scale)
+    ]
     return WorkloadConfig(
         n_processes=8, transfer_size=1 * MiB, file_size=file_size
     )
 
 
-@register_experiment("extension_napi")
-def run_napi(scale: str = "default") -> ExperimentResult:
-    """SAIs vs irqbalance with and without NAPI coalescing."""
-    rows = []
-    speedups = {}
-    for napi in (False, True):
-        config = ClusterConfig(
+# -- extension_napi ----------------------------------------------------
+
+
+def _grid_napi(scale: str) -> tuple[ClusterConfig, ...]:
+    return tuple(
+        ClusterConfig(
             n_servers=32,
             client=ClientConfig(nic_ports=3, napi=napi),
             workload=_workload(scale),
         )
-        comparison = compare_policies(config)
+        for napi in (False, True)
+    )
+
+
+def _assemble_napi(scale, specs, comparisons) -> ExperimentResult:
+    rows = []
+    speedups = {}
+    for config, comparison in zip(specs, comparisons):
+        napi = config.client.napi
         speedups[napi] = comparison.bandwidth_speedup
         rows.append(
             (
@@ -74,19 +83,37 @@ def run_napi(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("extension_collective")
-def run_collective(scale: str = "default") -> ExperimentResult:
-    """Independent vs collective MPI-IO transfers under both policies."""
-    rows = []
-    results = {}
-    for collective in (False, True):
-        workload = dataclasses.replace(_workload(scale), collective=collective)
-        config = ClusterConfig(
+#: SAIs vs irqbalance with and without NAPI coalescing.
+run_napi = register_grid_experiment(
+    "extension_napi",
+    grid=_grid_napi,
+    run_point=run_comparison_point,
+    assemble=_assemble_napi,
+    point_key=comparison_point_key,
+)
+
+
+# -- extension_collective ----------------------------------------------
+
+
+def _grid_collective(scale: str) -> tuple[ClusterConfig, ...]:
+    return tuple(
+        ClusterConfig(
             n_servers=32,
             client=ClientConfig(nic_ports=3),
-            workload=workload,
+            workload=dataclasses.replace(
+                _workload(scale), collective=collective
+            ),
         )
-        comparison = compare_policies(config)
+        for collective in (False, True)
+    )
+
+
+def _assemble_collective(scale, specs, comparisons) -> ExperimentResult:
+    rows = []
+    results = {}
+    for config, comparison in zip(specs, comparisons):
+        collective = config.workload.collective
         results[collective] = comparison
         rows.append(
             (
@@ -121,3 +148,13 @@ def run_collective(scale: str = "default") -> ExperimentResult:
             "collective_speedup_pct": results[True].bandwidth_speedup * 100,
         },
     )
+
+
+#: Independent vs collective MPI-IO transfers under both policies.
+run_collective = register_grid_experiment(
+    "extension_collective",
+    grid=_grid_collective,
+    run_point=run_comparison_point,
+    assemble=_assemble_collective,
+    point_key=comparison_point_key,
+)

@@ -16,21 +16,24 @@ option.
 
 from __future__ import annotations
 
-from ..cluster.simulation import compare_policies
+import typing as t
+
+from ..config import ClusterConfig
 from ..presets import generation_configs
 from ..units import MiB
-from .base import ExperimentResult, register_experiment
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
+from .grids import comparison_point_key, run_comparison_point
 
 __all__ = ["run_modern_hw"]
 
+#: One grid cell: (generation label, config).
+GenerationSpec = t.Tuple[str, ClusterConfig]
 
-@register_experiment("extension_modern_hw")
-def run_modern_hw(scale: str = "default") -> ExperimentResult:
-    """Bandwidth speed-up of source-aware delivery per hardware generation."""
-    rows = []
-    speedups: dict[str, float] = {}
+
+def _grid(scale: str) -> tuple[GenerationSpec, ...]:
+    specs = []
     for label, config in generation_configs().items():
-        if scale == "quick":
+        if resolve_scale(scale) == "quick":
             config = config.replace(
                 workload=config.workload.__class__(
                     n_processes=config.workload.n_processes,
@@ -40,7 +43,22 @@ def run_modern_hw(scale: str = "default") -> ExperimentResult:
                     ),
                 )
             )
-        comparison = compare_policies(config)
+        specs.append((label, config))
+    return tuple(specs)
+
+
+def _run_point(spec: GenerationSpec):
+    return run_comparison_point(spec[1])
+
+
+def _point_key(spec: GenerationSpec) -> str:
+    return comparison_point_key(spec[1])
+
+
+def _assemble(scale, specs, comparisons) -> ExperimentResult:
+    rows = []
+    speedups: dict[str, float] = {}
+    for (label, config), comparison in zip(specs, comparisons):
         speedups[label] = comparison.bandwidth_speedup
         rows.append(
             (
@@ -77,3 +95,13 @@ def run_modern_hw(scale: str = "default") -> ExperimentResult:
             "a kernel flow table instead of the IP-options hint.",
         ),
     )
+
+
+#: Bandwidth speed-up of source-aware delivery per hardware generation.
+run_modern_hw = register_grid_experiment(
+    "extension_modern_hw",
+    grid=_grid,
+    run_point=_run_point,
+    assemble=_assemble,
+    point_key=_point_key,
+)

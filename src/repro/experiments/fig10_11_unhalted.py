@@ -11,8 +11,8 @@ Paper claims:
 
 from __future__ import annotations
 
-from .base import ExperimentResult, register_experiment
-from .grids import sweep_fig5_grid
+from .base import ExperimentResult, register_grid_experiment
+from .grids import run_sweep_point, sweep_fig5_specs, sweep_point_key
 
 __all__ = ["run_fig10", "run_fig11"]
 
@@ -33,8 +33,7 @@ def _unhalted_rows(points):
     return rows
 
 
-def _run(scale: str, gigabits: int, exp_id: str, figure: str, paper_max: float):
-    points = sweep_fig5_grid(scale, nic_gigabits=gigabits)
+def _assemble(points, gigabits: int, exp_id: str, figure: str, paper_max: float):
     reductions = [p.comparison.unhalted_reduction for p in points]
     return ExperimentResult(
         exp_id=exp_id,
@@ -65,13 +64,24 @@ def _run(scale: str, gigabits: int, exp_id: str, figure: str, paper_max: float):
     )
 
 
-@register_experiment("fig10_unhalted_1g")
-def run_fig10(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 10 (1-Gigabit NIC)."""
-    return _run(scale, 1, "fig10_unhalted_1g", "Fig. 10", paper_max=27.14)
+#: Regenerate Fig. 10 (1-Gigabit NIC).
+run_fig10 = register_grid_experiment(
+    "fig10_unhalted_1g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=1),
+    run_point=run_sweep_point,
+    assemble=lambda scale, specs, points: _assemble(
+        points, 1, "fig10_unhalted_1g", "Fig. 10", paper_max=27.14
+    ),
+    point_key=sweep_point_key,
+)
 
-
-@register_experiment("fig11_unhalted_3g")
-def run_fig11(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 11 (3-Gigabit NIC)."""
-    return _run(scale, 3, "fig11_unhalted_3g", "Fig. 11", paper_max=48.57)
+#: Regenerate Fig. 11 (3-Gigabit NIC).
+run_fig11 = register_grid_experiment(
+    "fig11_unhalted_3g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=3),
+    run_point=run_sweep_point,
+    assemble=lambda scale, specs, points: _assemble(
+        points, 3, "fig11_unhalted_3g", "Fig. 11", paper_max=48.57
+    ),
+    point_key=sweep_point_key,
+)

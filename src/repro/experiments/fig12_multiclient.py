@@ -8,11 +8,10 @@ never hurts, even in the overloaded cases.
 
 from __future__ import annotations
 
-from ..cluster.simulation import compare_policies
 from ..config import ClusterConfig, ServerConfig, WorkloadConfig
 from ..units import Gbit, MiB
-from .base import ExperimentResult, register_experiment
-from .grids import nic_config
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
+from .grids import comparison_point_key, nic_config, run_comparison_point
 
 __all__ = ["run_fig12", "CLIENT_COUNTS"]
 
@@ -28,31 +27,36 @@ _FIG12_SERVER = ServerConfig(cache_hit_ratio=0.98, nic_bandwidth=3 * Gbit)
 
 
 def _workload(scale: str) -> WorkloadConfig:
-    per_process = {"quick": 2 * MiB, "default": 4 * MiB, "full": 16 * MiB}[scale]
+    per_process = {"quick": 2 * MiB, "default": 4 * MiB, "full": 16 * MiB}[
+        resolve_scale(scale)
+    ]
     return WorkloadConfig(
         n_processes=4, transfer_size=1 * MiB, file_size=per_process
     )
 
 
-@register_experiment("fig12_multiclient")
-def run_fig12(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 12: aggregate bandwidth vs number of clients."""
-    counts = CLIENT_COUNTS if scale != "quick" else (4, 8, 24)
-    rows = []
-    speedups = {}
-    for n_clients in counts:
-        config = ClusterConfig(
+def _grid(scale: str) -> tuple[ClusterConfig, ...]:
+    counts = CLIENT_COUNTS if resolve_scale(scale) != "quick" else (4, 8, 24)
+    return tuple(
+        ClusterConfig(
             n_servers=8,
             n_clients=n_clients,
             client=nic_config(3),
             server=_FIG12_SERVER,
             workload=_workload(scale),
         )
-        comparison = compare_policies(config)
-        speedups[n_clients] = comparison.bandwidth_speedup
+        for n_clients in counts
+    )
+
+
+def _assemble(scale, specs, comparisons) -> ExperimentResult:
+    rows = []
+    speedups = {}
+    for config, comparison in zip(specs, comparisons):
+        speedups[config.n_clients] = comparison.bandwidth_speedup
         rows.append(
             (
-                n_clients,
+                config.n_clients,
                 f"{comparison.baseline.bandwidth / MiB:.1f}",
                 f"{comparison.treatment.bandwidth / MiB:.1f}",
                 f"{comparison.bandwidth_speedup:+.2%}",
@@ -80,3 +84,13 @@ def run_fig12(scale: str = "default") -> ExperimentResult:
             "predict.",
         ),
     )
+
+
+#: Regenerate Fig. 12: aggregate bandwidth vs number of clients.
+run_fig12 = register_grid_experiment(
+    "fig12_multiclient",
+    grid=_grid,
+    run_point=run_comparison_point,
+    assemble=_assemble,
+    point_key=comparison_point_key,
+)

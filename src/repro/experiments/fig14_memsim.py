@@ -8,23 +8,60 @@ about **2500 MB/s** (~19.53 Gb/s).
 
 from __future__ import annotations
 
-from ..memsim import MemsimConfig, sweep_applications
+import typing as t
+
+from ..memsim import MemsimConfig, run_memsim_point
+from ..memsim.experiment import SCHEMES
 from ..units import MiB
-from .base import ExperimentResult, register_experiment
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
 
 __all__ = ["run_fig14", "APP_COUNTS"]
 
 #: Application-pair counts swept on the 8-core head node.
 APP_COUNTS = (1, 2, 3, 4, 6, 8, 12, 16)
 
+#: One grid cell: (scheme, application count, config).
+MemsimSpec = t.Tuple[str, int, MemsimConfig]
 
-@register_experiment("fig14_memsim")
-def run_fig14(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 14: Si-SAIs vs Si-Irqbalance bandwidth sweep."""
-    per_app = {"quick": 8 * MiB, "default": 16 * MiB, "full": 64 * MiB}[scale]
-    counts = APP_COUNTS if scale != "quick" else (1, 4, 8, 16)
-    config = MemsimConfig(per_app_bytes=per_app)
-    results = sweep_applications(counts, config)
+
+def _counts(scale: str) -> tuple[int, ...]:
+    return APP_COUNTS if resolve_scale(scale) != "quick" else (1, 4, 8, 16)
+
+
+def _config(scale: str) -> MemsimConfig:
+    per_app = {"quick": 8 * MiB, "default": 16 * MiB, "full": 64 * MiB}[
+        resolve_scale(scale)
+    ]
+    return MemsimConfig(per_app_bytes=per_app)
+
+
+def _grid(scale: str) -> tuple[MemsimSpec, ...]:
+    config = _config(scale)
+    return tuple(
+        (scheme, n_apps, config)
+        for scheme in SCHEMES
+        for n_apps in _counts(scale)
+    )
+
+
+def _run_point(spec: MemsimSpec):
+    scheme, n_apps, config = spec
+    return run_memsim_point(scheme, n_apps, config)
+
+
+def _point_key(spec: MemsimSpec) -> str:
+    from ..runner.cache import config_digest
+
+    scheme, n_apps, config = spec
+    return f"memsim:{scheme}:{n_apps}:{config_digest(config)}"
+
+
+def _assemble(scale, specs, metrics) -> ExperimentResult:
+    config = _config(scale)
+    by_scheme: dict[str, list] = {scheme: [] for scheme in SCHEMES}
+    for (scheme, _, _), point in zip(specs, metrics):
+        by_scheme[scheme].append(point)
+    results = by_scheme
 
     rows = []
     speedups = []
@@ -80,3 +117,13 @@ def run_fig14(scale: str = "default") -> ExperimentResult:
             "converged_mbs": converged / MiB,
         },
     )
+
+
+#: Regenerate Fig. 14: Si-SAIs vs Si-Irqbalance bandwidth sweep.
+run_fig14 = register_grid_experiment(
+    "fig14_memsim",
+    grid=_grid,
+    run_point=_run_point,
+    assemble=_assemble,
+    point_key=_point_key,
+)

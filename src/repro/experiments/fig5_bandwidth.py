@@ -12,8 +12,8 @@ Paper claims:
 from __future__ import annotations
 
 from ..units import MiB, bits_per_sec
-from .base import ExperimentResult, register_experiment
-from .grids import sweep_fig5_grid
+from .base import ExperimentResult, register_grid_experiment
+from .grids import run_sweep_point, sweep_fig5_specs, sweep_point_key
 
 __all__ = ["run_fig5", "run_sec5c"]
 
@@ -34,10 +34,7 @@ def _bandwidth_rows(points):
     return rows
 
 
-@register_experiment("fig5_bandwidth_3g")
-def run_fig5(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 5: IOR bandwidth under irqbalance vs SAIs, 3 Gb."""
-    points = sweep_fig5_grid(scale, nic_gigabits=3)
+def _assemble_fig5(scale, specs, points) -> ExperimentResult:
     max_speedup = max(p.comparison.bandwidth_speedup for p in points)
     best_at_48 = max(
         (
@@ -72,10 +69,7 @@ def run_fig5(scale: str = "default") -> ExperimentResult:
     )
 
 
-@register_experiment("sec5c_bandwidth_1g")
-def run_sec5c(scale: str = "default") -> ExperimentResult:
-    """Regenerate the Sec. V-C 1-Gigabit observation: NIC-bound, small gain."""
-    points = sweep_fig5_grid(scale, nic_gigabits=1)
+def _assemble_sec5c(scale, specs, points) -> ExperimentResult:
     max_speedup = max(p.comparison.bandwidth_speedup for p in points)
     max_bandwidth = max(
         max(p.comparison.baseline.bandwidth, p.comparison.treatment.bandwidth)
@@ -97,3 +91,22 @@ def run_sec5c(scale: str = "default") -> ExperimentResult:
             "1-Gigabit runs were not fully NIC-saturated.",
         ),
     )
+
+
+#: Regenerate Fig. 5: IOR bandwidth under irqbalance vs SAIs, 3 Gb.
+run_fig5 = register_grid_experiment(
+    "fig5_bandwidth_3g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=3),
+    run_point=run_sweep_point,
+    assemble=_assemble_fig5,
+    point_key=sweep_point_key,
+)
+
+#: Regenerate the Sec. V-C 1-Gigabit observation: NIC-bound, small gain.
+run_sec5c = register_grid_experiment(
+    "sec5c_bandwidth_1g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=1),
+    run_point=run_sweep_point,
+    assemble=_assemble_sec5c,
+    point_key=sweep_point_key,
+)

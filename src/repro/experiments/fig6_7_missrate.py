@@ -11,8 +11,8 @@ Paper claims:
 
 from __future__ import annotations
 
-from .base import ExperimentResult, register_experiment
-from .grids import sweep_fig5_grid
+from .base import ExperimentResult, register_grid_experiment
+from .grids import run_sweep_point, sweep_fig5_specs, sweep_point_key
 
 __all__ = ["run_fig6", "run_fig7"]
 
@@ -33,8 +33,7 @@ def _missrate_rows(points):
     return rows
 
 
-def _run(scale: str, gigabits: int, exp_id: str, figure: str, paper_reduction: float):
-    points = sweep_fig5_grid(scale, nic_gigabits=gigabits)
+def _assemble(points, gigabits: int, exp_id: str, figure: str, paper_reduction: float):
     reductions = [p.comparison.miss_rate_reduction for p in points]
     sais_always_lower = all(
         p.comparison.treatment.l2_miss_rate < p.comparison.baseline.l2_miss_rate
@@ -57,15 +56,26 @@ def _run(scale: str, gigabits: int, exp_id: str, figure: str, paper_reduction: f
     )
 
 
-@register_experiment("fig6_missrate_1g")
-def run_fig6(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 6 (1-Gigabit NIC)."""
-    # The paper reports the gap qualitatively at 1 Gb; reuse the 3 Gb
-    # headline (~40%) as the reference magnitude.
-    return _run(scale, 1, "fig6_missrate_1g", "Fig. 6", paper_reduction=40.0)
+#: Regenerate Fig. 6 (1-Gigabit NIC).  The paper reports the gap
+#: qualitatively at 1 Gb; reuse the 3 Gb headline (~40%) as the
+#: reference magnitude.
+run_fig6 = register_grid_experiment(
+    "fig6_missrate_1g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=1),
+    run_point=run_sweep_point,
+    assemble=lambda scale, specs, points: _assemble(
+        points, 1, "fig6_missrate_1g", "Fig. 6", paper_reduction=40.0
+    ),
+    point_key=sweep_point_key,
+)
 
-
-@register_experiment("fig7_missrate_3g")
-def run_fig7(scale: str = "default") -> ExperimentResult:
-    """Regenerate Fig. 7 (3-Gigabit NIC): ~40% miss-rate reduction."""
-    return _run(scale, 3, "fig7_missrate_3g", "Fig. 7", paper_reduction=40.0)
+#: Regenerate Fig. 7 (3-Gigabit NIC): ~40% miss-rate reduction.
+run_fig7 = register_grid_experiment(
+    "fig7_missrate_3g",
+    grid=lambda scale: sweep_fig5_specs(scale, nic_gigabits=3),
+    run_point=run_sweep_point,
+    assemble=lambda scale, specs, points: _assemble(
+        points, 3, "fig7_missrate_3g", "Fig. 7", paper_reduction=40.0
+    ),
+    point_key=sweep_point_key,
+)

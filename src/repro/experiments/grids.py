@@ -1,21 +1,45 @@
-"""Shared sweep grids and config construction for the figure experiments."""
+"""Shared sweep grids and config construction for the figure experiments.
+
+The Fig. 5–11 family all plot the same underlying campaign: the
+transfer-size x server-count grid run under both policies.  This module
+splits that campaign into the two halves the parallel runner needs:
+
+* :func:`sweep_fig5_specs` — *pure* construction of the grid's
+  :class:`~repro.config.ClusterConfig` cells (cheap, pickleable);
+* :func:`run_sweep_point` — the heavy, deterministic simulation of one
+  cell, memoized in-process so the six figure experiments that share a
+  sweep never re-run it within one interpreter.
+
+:func:`sweep_point_key` names a cell's computation content-addressably,
+which lets the pool runner dedupe identical cells *across* experiments
+(Fig. 5, 6/7, 9, 10/11 all reuse the 3-Gigabit sweep).
+"""
 
 from __future__ import annotations
 
-import dataclasses
 import functools
 import typing as t
+
+import dataclasses
 
 from ..cluster.simulation import PolicyComparison, compare_policies
 from ..config import ClientConfig, ClusterConfig, WorkloadConfig
 from ..units import KiB, MiB, format_size
+from .base import resolve_scale
 
 __all__ = [
     "TRANSFER_SIZES",
     "SERVER_COUNTS",
     "SweepPoint",
     "nic_config",
+    "sweep_fig5_specs",
     "sweep_fig5_grid",
+    "run_sweep_point",
+    "sweep_point_key",
+    "run_comparison_point",
+    "comparison_point_key",
+    "run_single_point",
+    "single_point_key",
     "file_size_for_scale",
 ]
 
@@ -32,7 +56,9 @@ def file_size_for_scale(scale: str, transfer_size: int) -> int:
     steady-state rate) while keeping at least a handful of requests per
     process at the largest transfer size.
     """
-    base = {"quick": 4 * MiB, "default": 8 * MiB, "full": 64 * MiB}[scale]
+    base = {"quick": 4 * MiB, "default": 8 * MiB, "full": 64 * MiB}[
+        resolve_scale(scale)
+    ]
     return max(base, 4 * transfer_size)
 
 
@@ -54,6 +80,84 @@ class SweepPoint:
         return format_size(self.transfer_size)
 
 
+def sweep_fig5_specs(
+    scale: str,
+    nic_gigabits: int,
+    n_processes: int = 8,
+    seed: int = 1,
+) -> tuple[ClusterConfig, ...]:
+    """The grid's cells as configs — pure construction, no simulation."""
+    transfer_sizes: t.Sequence[int] = TRANSFER_SIZES
+    server_counts: t.Sequence[int] = SERVER_COUNTS
+    if resolve_scale(scale) == "quick":
+        transfer_sizes = transfer_sizes[-2:]
+        server_counts = (8, 48)
+    return tuple(
+        ClusterConfig(
+            n_servers=n_servers,
+            client=nic_config(nic_gigabits),
+            workload=WorkloadConfig(
+                n_processes=n_processes,
+                transfer_size=transfer,
+                file_size=file_size_for_scale(scale, transfer),
+            ),
+            seed=seed,
+        )
+        for transfer in transfer_sizes
+        for n_servers in server_counts
+    )
+
+
+@functools.lru_cache(maxsize=512)
+def run_sweep_point(config: ClusterConfig) -> SweepPoint:
+    """Simulate one grid cell under both policies (deterministic).
+
+    Memoized per config so the figure experiments sharing a sweep reuse
+    the runs within one process, exactly as the paper collected Figs.
+    5-11 from the same IOR executions.
+    """
+    return SweepPoint(
+        transfer_size=config.workload.transfer_size,
+        n_servers=config.n_servers,
+        comparison=compare_policies(config),
+    )
+
+
+def sweep_point_key(config: ClusterConfig) -> str:
+    """Content-addressed name of one cell's computation (runner dedup)."""
+    from ..runner.cache import config_digest
+
+    return f"sweep:{config_digest(config)}"
+
+
+@functools.lru_cache(maxsize=512)
+def run_comparison_point(config: ClusterConfig) -> PolicyComparison:
+    """One irqbalance-vs-SAIs A/B at an arbitrary config (deterministic)."""
+    return compare_policies(config)
+
+
+def comparison_point_key(config: ClusterConfig) -> str:
+    """Dedup key for :func:`run_comparison_point` cells."""
+    from ..runner.cache import config_digest
+
+    return f"cmp:{config_digest(config)}"
+
+
+@functools.lru_cache(maxsize=512)
+def run_single_point(config: ClusterConfig):
+    """One single-policy run (the config's own ``policy`` field)."""
+    from ..cluster.simulation import run_experiment
+
+    return run_experiment(config)
+
+
+def single_point_key(config: ClusterConfig) -> str:
+    """Dedup key for :func:`run_single_point` cells."""
+    from ..runner.cache import config_digest
+
+    return f"run:{config_digest(config)}"
+
+
 def sweep_fig5_grid(
     scale: str,
     nic_gigabits: int,
@@ -63,41 +167,10 @@ def sweep_fig5_grid(
     """Run the standard transfer-size x server-count grid, both policies.
 
     This single sweep underlies Figures 5-11: bandwidth, miss rate,
-    utilization and unhalted cycles are all collected from the same runs,
-    exactly as the paper measured them from the same IOR executions —
-    so the result is memoized per (scale, NIC, processes, seed) and the
-    six figure experiments share it.
+    utilization and unhalted cycles are all collected from the same runs
+    (see :func:`run_sweep_point`).
     """
-    return list(_cached_sweep(scale, nic_gigabits, n_processes, seed))
-
-
-@functools.lru_cache(maxsize=16)
-def _cached_sweep(
-    scale: str, nic_gigabits: int, n_processes: int, seed: int
-) -> tuple[SweepPoint, ...]:
-    transfer_sizes: t.Sequence[int] = TRANSFER_SIZES
-    server_counts: t.Sequence[int] = SERVER_COUNTS
-    if scale == "quick":
-        transfer_sizes = transfer_sizes[-2:]
-        server_counts = (8, 48)
-    points = []
-    for transfer in transfer_sizes:
-        for n_servers in server_counts:
-            config = ClusterConfig(
-                n_servers=n_servers,
-                client=nic_config(nic_gigabits),
-                workload=WorkloadConfig(
-                    n_processes=n_processes,
-                    transfer_size=transfer,
-                    file_size=file_size_for_scale(scale, transfer),
-                ),
-                seed=seed,
-            )
-            points.append(
-                SweepPoint(
-                    transfer_size=transfer,
-                    n_servers=n_servers,
-                    comparison=compare_policies(config),
-                )
-            )
-    return tuple(points)
+    return [
+        run_sweep_point(config)
+        for config in sweep_fig5_specs(scale, nic_gigabits, n_processes, seed)
+    ]

@@ -9,19 +9,36 @@ simulator runs.
 
 from __future__ import annotations
 
-from ..cluster.simulation import compare_policies
 from ..config import ClusterConfig, CostModel, WorkloadConfig
 from ..core.analysis import AnalysisParams
 from ..units import KiB, MiB
-from .base import ExperimentResult, register_experiment
-from .grids import nic_config
+from .base import ExperimentResult, register_grid_experiment, resolve_scale
+from .grids import comparison_point_key, nic_config, run_comparison_point
 
 __all__ = ["run_sec3"]
 
+#: Simulator cross-check points (measured speed-ups must be ordered the
+#: way the analytic gap is).
+_CHECK_SERVERS = (16, 48)
 
-@register_experiment("sec3_model")
-def run_sec3(scale: str = "default") -> ExperimentResult:
-    """Evaluate eqs. (3)-(9) and compare trends with the simulator."""
+
+def _grid(scale: str) -> tuple[ClusterConfig, ...]:
+    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[
+        resolve_scale(scale)
+    ]
+    return tuple(
+        ClusterConfig(
+            n_servers=n_servers,
+            client=nic_config(3),
+            workload=WorkloadConfig(
+                n_processes=8, transfer_size=1 * MiB, file_size=file_size
+            ),
+        )
+        for n_servers in _CHECK_SERVERS
+    )
+
+
+def _assemble(scale, specs, comparisons) -> ExperimentResult:
     costs = CostModel()
     strip = 64 * KiB
     p_cost = costs.strip_processing_time(strip)
@@ -49,19 +66,10 @@ def run_sec3(scale: str = "default") -> ExperimentResult:
             )
         )
 
-    # Simulator cross-check at two server counts (measured speed-ups must
-    # be ordered the way the analytic gap is).
-    file_size = {"quick": 4 * MiB, "default": 8 * MiB, "full": 32 * MiB}[scale]
-    measured = {}
-    for n_servers in (16, 48):
-        config = ClusterConfig(
-            n_servers=n_servers,
-            client=nic_config(3),
-            workload=WorkloadConfig(
-                n_processes=8, transfer_size=1 * MiB, file_size=file_size
-            ),
-        )
-        measured[n_servers] = compare_policies(config).bandwidth_speedup
+    measured = {
+        config.n_servers: comparison.bandwidth_speedup
+        for config, comparison in zip(specs, comparisons)
+    }
 
     return ExperimentResult(
         exp_id="sec3_model",
@@ -93,3 +101,13 @@ def run_sec3(scale: str = "default") -> ExperimentResult:
             "measured speed-ups are lower but ordered identically.",
         ),
     )
+
+
+#: Evaluate eqs. (3)-(9) and compare trends with the simulator.
+run_sec3 = register_grid_experiment(
+    "sec3_model",
+    grid=_grid,
+    run_point=run_comparison_point,
+    assemble=_assemble,
+    point_key=comparison_point_key,
+)

@@ -1,0 +1,35 @@
+"""Parallel experiment execution with deterministic result caching.
+
+The evaluation's grid points are embarrassingly parallel and fully
+deterministic (seeded DES, process-stable hashing), so this package
+scales ``sais-repro run all`` with cores:
+
+* :class:`ExperimentRunner` — fans grid points (and whole experiments)
+  out over a process pool, deduplicates shared points, reassembles rows
+  in grid order;
+* :class:`ResultCache` — content-addressed on-disk cache keyed by
+  SHA-256 of (exp_id, scale, resolved config dataclasses, version).
+
+Quickstart::
+
+    from repro.runner import ExperimentRunner
+
+    runner = ExperimentRunner(jobs=4)
+    summary = runner.run_many(["fig5_bandwidth_3g", "fig7_missrate_3g"],
+                              scale="quick")
+    for report in summary.reports:
+        print(report.exp_id, "cached" if report.cached else "ran")
+"""
+
+from .cache import ResultCache, config_digest, default_cache_dir, result_key
+from .runner import ExperimentRunner, RunReport, RunSummary
+
+__all__ = [
+    "ExperimentRunner",
+    "ResultCache",
+    "RunReport",
+    "RunSummary",
+    "config_digest",
+    "default_cache_dir",
+    "result_key",
+]

@@ -1,0 +1,31 @@
+"""Pickleable work units for the process-pool experiment runner.
+
+Workers receive ``(exp_id, spec)`` pairs, re-import the experiment
+registry (module import re-registers every experiment) and execute the
+named experiment's ``run_point`` on the spec.  Only specs and row
+results cross the process boundary — both are plain frozen dataclasses —
+so the same code path works under ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+__all__ = ["run_point_task", "run_monolithic_task"]
+
+
+def run_point_task(exp_id: str, spec: t.Any) -> t.Any:
+    """Execute one grid point of ``exp_id`` (worker-side entry point)."""
+    # Imported lazily so a freshly spawned worker registers the
+    # experiment modules before the lookup.
+    from ..experiments.base import get_grid_experiment
+    import repro.experiments  # noqa: F401  (registration side effects)
+
+    return get_grid_experiment(exp_id).run_point(spec)
+
+
+def run_monolithic_task(exp_id: str, scale: str) -> t.Any:
+    """Run a whole non-decomposed experiment in a worker."""
+    from repro.experiments import run_experiment_by_id
+
+    return run_experiment_by_id(exp_id, scale=scale).to_dict()

@@ -1,0 +1,288 @@
+"""The parallel experiment runner.
+
+``ExperimentRunner`` fans experiment grid points out over a
+``concurrent.futures.ProcessPoolExecutor`` (``jobs`` workers), reuses a
+content-addressed on-disk :class:`~repro.runner.cache.ResultCache`, and
+reassembles rows in deterministic grid order — so ``--jobs 4`` output is
+byte-identical to ``--jobs 1`` (asserted by
+``tests/experiments/test_determinism.py``).
+
+Work units are deduplicated by :meth:`GridExperiment.keys` before
+submission: the six Fig. 5-11 experiments share one underlying sweep, so
+``run all`` executes each shared cell once per invocation no matter how
+many experiments consume it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..errors import ConfigError
+from ..experiments.base import (
+    ExperimentResult,
+    get_experiment,
+    get_grid_experiment,
+    has_grid_experiment,
+    resolve_scale,
+)
+from .cache import ResultCache, canonical_payload, result_key
+from .pool import run_monolithic_task, run_point_task
+
+__all__ = ["ExperimentRunner", "RunReport", "RunSummary"]
+
+ProgressFn = t.Callable[[str], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class RunReport:
+    """Provenance of one experiment's result within a runner invocation."""
+
+    exp_id: str
+    result: ExperimentResult
+    #: Served from the on-disk cache without running anything.
+    cached: bool
+    #: Grid points this experiment consumed (0 for monolithic runs).
+    n_points: int
+    #: Points this experiment was first to schedule (the rest were shared
+    #: with earlier experiments in the same invocation).
+    n_scheduled: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RunSummary:
+    """Everything one ``run_many`` call did."""
+
+    scale: str
+    jobs: int
+    reports: tuple[RunReport, ...]
+    #: Unique simulation tasks actually executed (0 = fully cached).
+    executed_tasks: int
+
+    @property
+    def results(self) -> list[ExperimentResult]:
+        return [report.result for report in self.reports]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Plan:
+    """One experiment's share of the work: keys into the task table."""
+
+    exp_id: str
+    key: str
+    specs: tuple[t.Any, ...] | None  # None = monolithic
+    point_keys: tuple[str, ...]
+    n_scheduled: int
+
+
+class ExperimentRunner:
+    """Run experiments over ``jobs`` workers with optional result cache.
+
+    ``jobs=1`` runs everything in-process (no pool, no pickling); any
+    larger value spins up a process pool.  ``use_cache=False`` bypasses
+    cache reads *and* writes.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: t.Any = None,
+        use_cache: bool = True,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache: ResultCache | None = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+        self._progress = progress
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, exp_id: str, scale: str = "default") -> ExperimentResult:
+        """Run one experiment; cache- and pool-aware."""
+        return self.run_many([exp_id], scale=scale).reports[0].result
+
+    def run_many(
+        self, exp_ids: t.Sequence[str], scale: str = "default"
+    ) -> RunSummary:
+        """Run several experiments, sharing and deduplicating their points."""
+        scale = resolve_scale(scale)
+        cached_results: dict[str, ExperimentResult] = {}
+        plans: list[_Plan] = []
+        # Insertion-ordered task table: point key -> (exp_id, spec|scale).
+        tasks: dict[str, tuple[str, t.Any]] = {}
+
+        for exp_id in exp_ids:
+            get_experiment(exp_id)  # raises ConfigError on unknown ids
+            plan = self._plan_experiment(exp_id, scale, tasks)
+            plans.append(plan)
+            if self.cache is not None:
+                hit = self.cache.get(plan.key)
+                if hit is not None and hit.exp_id == exp_id:
+                    cached_results[exp_id] = hit
+                    # Un-schedule points no other pending experiment needs.
+                    self._release_points(plan, plans, cached_results, tasks)
+            self._emit(
+                f"plan {exp_id}: "
+                + (
+                    "cached"
+                    if exp_id in cached_results
+                    else f"{len(plan.point_keys) or 1} task(s), "
+                    f"{plan.n_scheduled} newly scheduled"
+                )
+            )
+
+        pending = {
+            key: task
+            for key, task in tasks.items()
+            if self._key_needed(key, plans, cached_results)
+        }
+        rows_by_key = self._execute(pending, scale)
+
+        reports = []
+        for plan in plans:
+            if plan.exp_id in cached_results:
+                reports.append(
+                    RunReport(
+                        exp_id=plan.exp_id,
+                        result=cached_results[plan.exp_id],
+                        cached=True,
+                        n_points=len(plan.point_keys),
+                        n_scheduled=0,
+                    )
+                )
+                continue
+            result = self._assemble(plan, scale, rows_by_key)
+            if self.cache is not None:
+                self.cache.put(plan.key, result, scale)
+            reports.append(
+                RunReport(
+                    exp_id=plan.exp_id,
+                    result=result,
+                    cached=False,
+                    n_points=len(plan.point_keys),
+                    n_scheduled=plan.n_scheduled,
+                )
+            )
+            self._emit(f"done {plan.exp_id}")
+        return RunSummary(
+            scale=scale,
+            jobs=self.jobs,
+            reports=tuple(reports),
+            executed_tasks=len(rows_by_key),
+        )
+
+    # -- planning ------------------------------------------------------
+
+    def _plan_experiment(
+        self,
+        exp_id: str,
+        scale: str,
+        tasks: dict[str, tuple[str, t.Any]],
+    ) -> _Plan:
+        if not has_grid_experiment(exp_id):
+            key = result_key(exp_id, scale, None)
+            mono_key = f"mono:{exp_id}:{scale}"
+            scheduled = mono_key not in tasks
+            tasks.setdefault(mono_key, (exp_id, scale))
+            return _Plan(
+                exp_id=exp_id,
+                key=key,
+                specs=None,
+                point_keys=(mono_key,),
+                n_scheduled=int(scheduled),
+            )
+        experiment = get_grid_experiment(exp_id)
+        specs = tuple(experiment.grid(scale))
+        point_keys = tuple(experiment.keys(specs))
+        key = result_key(exp_id, scale, canonical_payload(list(specs)))
+        scheduled = 0
+        for point_key, spec in zip(point_keys, specs):
+            if point_key not in tasks:
+                tasks[point_key] = (exp_id, spec)
+                scheduled += 1
+        return _Plan(
+            exp_id=exp_id,
+            key=key,
+            specs=specs,
+            point_keys=point_keys,
+            n_scheduled=scheduled,
+        )
+
+    @staticmethod
+    def _key_needed(
+        key: str,
+        plans: t.Sequence[_Plan],
+        cached_results: dict[str, ExperimentResult],
+    ) -> bool:
+        return any(
+            key in plan.point_keys
+            for plan in plans
+            if plan.exp_id not in cached_results
+        )
+
+    def _release_points(
+        self,
+        plan: _Plan,
+        plans: t.Sequence[_Plan],
+        cached_results: dict[str, ExperimentResult],
+        tasks: dict[str, tuple[str, t.Any]],
+    ) -> None:
+        for key in plan.point_keys:
+            if not self._key_needed(key, plans, cached_results):
+                tasks.pop(key, None)
+
+    # -- execution -----------------------------------------------------
+
+    def _execute(
+        self, tasks: dict[str, tuple[str, t.Any]], scale: str
+    ) -> dict[str, t.Any]:
+        if not tasks:
+            return {}
+        if self.jobs == 1:
+            return {
+                key: self._run_task_inline(key, exp_id, payload)
+                for key, (exp_id, payload) in tasks.items()
+            }
+        import concurrent.futures
+
+        rows: dict[str, t.Any] = {}
+        workers = min(self.jobs, len(tasks))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                key: pool.submit(
+                    run_monolithic_task if key.startswith("mono:") else run_point_task,
+                    exp_id,
+                    payload,
+                )
+                for key, (exp_id, payload) in tasks.items()
+            }
+            done = 0
+            for key, future in futures.items():
+                rows[key] = future.result()
+                done += 1
+                self._emit(f"point {done}/{len(futures)} [{key[:24]}]")
+        return rows
+
+    def _run_task_inline(self, key: str, exp_id: str, payload: t.Any) -> t.Any:
+        if key.startswith("mono:"):
+            return run_monolithic_task(exp_id, payload)
+        return get_grid_experiment(exp_id).run_point(payload)
+
+    # -- assembly ------------------------------------------------------
+
+    @staticmethod
+    def _assemble(
+        plan: _Plan, scale: str, rows_by_key: dict[str, t.Any]
+    ) -> ExperimentResult:
+        if plan.specs is None:
+            return ExperimentResult.from_dict(rows_by_key[plan.point_keys[0]])
+        experiment = get_grid_experiment(plan.exp_id)
+        rows = [rows_by_key[key] for key in plan.point_keys]
+        return experiment.assemble(scale, plan.specs, rows)
+
+    def _emit(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)

@@ -11,6 +11,8 @@ from repro import ClientConfig, ClusterConfig, WorkloadConfig, compare_policies
 from repro.memsim import MemsimConfig, run_memsim_point
 from repro.units import MiB
 
+pytestmark = pytest.mark.slow
+
 
 def fig5_config(n_servers, nic_ports=3):
     return ClusterConfig(

@@ -1,0 +1,29 @@
+"""Fixtures for the experiment-layer tests.
+
+Every test in this directory gets an isolated result-cache directory so
+CLI/runner invocations never read or write the user's real cache
+(``~/.cache/sais-repro``) and never observe another test's entries.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.runner.cache import CACHE_DIR_ENV
+
+GOLDENS_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the default cache at a per-test temporary directory."""
+    cache_dir = tmp_path / "sais-cache"
+    monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+    return cache_dir
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return bool(request.config.getoption("--update-goldens"))

@@ -9,7 +9,11 @@ from repro.experiments import (
     get_experiment,
     run_experiment_by_id,
 )
-from repro.experiments.base import ExperimentResult, register_experiment
+from repro.experiments.base import (
+    ExperimentResult,
+    register_experiment,
+    resolve_scale,
+)
 
 
 EXPECTED_IDS = {
@@ -46,6 +50,23 @@ class TestRegistry:
     def test_bad_scale_rejected(self):
         with pytest.raises(ConfigError):
             run_experiment_by_id("fig14_memsim", scale="enormous")
+
+    @pytest.mark.parametrize("scale", ["quick", "full"])
+    def test_resolve_scale_passes_known(self, scale):
+        assert resolve_scale(scale) == scale
+
+    def test_resolve_scale_rejects_unknown_with_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_scale("enormous")
+        message = str(excinfo.value)
+        assert "enormous" in message
+        assert "quick" in message and "full" in message
+
+    def test_direct_experiment_call_rejects_unknown_scale(self):
+        # Before resolve_scale this surfaced as a bare KeyError deep in
+        # the scale-preset lookup.
+        with pytest.raises(ConfigError):
+            get_experiment("fig14_memsim")("enormous")
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ConfigError):
@@ -109,6 +130,13 @@ class TestCli:
     def test_run_unknown(self, capsys):
         assert main(["run", "nope"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("jobs", ["0", "-3", "abc"])
+    def test_run_rejects_bad_jobs(self, jobs, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig14_memsim", "--jobs", jobs])
+        assert excinfo.value.code == 2
+        assert "--jobs" in capsys.readouterr().err
 
     def test_run_multiple(self, capsys):
         assert (
