@@ -23,7 +23,7 @@ import sys
 import typing as t
 
 from . import __version__
-from .errors import ReproError
+from .errors import ConfigError, ReproError
 from .experiments import all_experiment_ids
 from .experiments.base import SCALES
 
@@ -79,6 +79,22 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="print per-experiment progress lines to stderr",
         )
+        command.add_argument(
+            "--fault-plan",
+            default=None,
+            metavar="FILE",
+            help=(
+                "JSON fault plan (repro.faults.FaultPlan fields) injected "
+                "into every experiment built from the standard sweeps"
+            ),
+        )
+        command.add_argument(
+            "--fault-seed",
+            type=int,
+            default=None,
+            metavar="N",
+            help="override the fault plan's seed (requires --fault-plan)",
+        )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -116,6 +132,35 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_runner_options(run)
     return parser
+
+
+def _install_fault_plan(args: argparse.Namespace) -> int:
+    """Load ``--fault-plan`` and install it as the ambient plan.
+
+    Returns a process exit code: 0 on success (including no plan given),
+    2 on a malformed plan file — same contract as the other config errors.
+    """
+    plan_path = getattr(args, "fault_plan", None)
+    fault_seed = getattr(args, "fault_seed", None)
+    if plan_path is None:
+        if fault_seed is not None:
+            print(
+                "sais-repro: --fault-seed requires --fault-plan",
+                file=sys.stderr,
+            )
+            return 2
+        return 0
+    from .faults import load_fault_plan, set_ambient_fault_plan
+
+    try:
+        plan = load_fault_plan(plan_path)
+    except ConfigError as exc:
+        print(f"sais-repro: {exc}", file=sys.stderr)
+        return 2
+    if fault_seed is not None:
+        plan = plan.with_seed(fault_seed)
+    set_ambient_fault_plan(plan)
+    return 0
 
 
 def _make_runner(args: argparse.Namespace) -> "t.Any":
@@ -157,6 +202,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     if args.command == "summary":
         from .metrics.report import render_table
 
+        code = _install_fault_plan(args)
+        if code:
+            return code
         summary = _make_runner(args).run_many(
             all_experiment_ids(), scale=args.scale
         )
@@ -186,6 +234,9 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         print(f"available: {', '.join(all_experiment_ids())}", file=sys.stderr)
         return 2
 
+    code = _install_fault_plan(args)
+    if code:
+        return code
     run_summary = _make_runner(args).run_many(ids, scale=args.scale)
     _report_summary(run_summary)
 

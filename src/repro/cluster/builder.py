@@ -9,6 +9,8 @@ from ..config import ClusterConfig
 from ..core.policy import create_policy
 from ..core.sais import HintCapsuler
 from ..des import Environment
+from ..errors import ConfigError
+from ..faults.injector import FaultInjector
 from ..net.links import Link
 from ..net.packet import Packet
 from ..net.switch import Switch
@@ -37,6 +39,11 @@ class Cluster:
     rngs: RngFactory
     #: Per-strip lifecycle tracer (None unless ``config.trace``).
     tracer: Tracer | None = None
+    #: Fault injector holding the cluster-wide fault counters; None when
+    #: no (effective) fault plan is configured.
+    injector: FaultInjector | None = None
+    #: Client transmit links (write path); kept for retransmit accounting.
+    client_uplinks: list[Link] = dataclasses.field(default_factory=list)
 
 
 def build_cluster(config: ClusterConfig) -> Cluster:
@@ -55,8 +62,23 @@ def build_cluster(config: ClusterConfig) -> Cluster:
     layout = StripeLayout(config.strip_size, config.n_servers)
     net = config.network
 
+    # A null plan (every probability zero, no stragglers) builds exactly
+    # the fault-free cluster: no injector, no watchdogs, no middlebox.
+    injector: FaultInjector | None = None
+    if config.faults is not None and not config.faults.is_null:
+        injector = FaultInjector(config.faults)
+        worst = injector.max_server_index()
+        if worst is not None and worst >= config.n_servers:
+            raise ConfigError(
+                f"fault plan targets server {worst} but the cluster has "
+                f"only {config.n_servers} servers"
+            )
+
     switch = Switch(
-        env, backplane_bandwidth=net.switch_bandwidth, latency=net.latency
+        env,
+        backplane_bandwidth=net.switch_bandwidth,
+        latency=net.latency,
+        middlebox=injector.middlebox if injector is not None else None,
     )
     metadata = MetadataServer(env)
     tracer = Tracer() if config.trace else None
@@ -66,8 +88,21 @@ def build_cluster(config: ClusterConfig) -> Cluster:
         # Each client programs its own APIC: policies hold per-client state
         # (round-robin counters, irqbalance assignments).
         policy = create_policy(config.policy)
+        if injector is not None:
+            # Option-stripping middleboxes leave SAIs hint-less for some
+            # packets; the policy steers those round-robin instead of
+            # raising (graceful degradation, counted in fallback_events).
+            policy.enable_degraded_fallback()
         clients.append(
-            ClientNode(env, client_index, config, policy, layout, tracer=tracer)
+            ClientNode(
+                env,
+                client_index,
+                config,
+                policy,
+                layout,
+                tracer=tracer,
+                faults=injector,
+            )
         )
 
     sais_enabled = clients[0].policy.requires_hints
@@ -80,12 +115,18 @@ def build_cluster(config: ClusterConfig) -> Cluster:
 
     servers: list[IoServer] = []
     for server_index in range(config.n_servers):
+        uplink_name = f"server{server_index}_uplink"
         uplink = Link(
             env,
             bandwidth=config.server.nic_bandwidth,
             latency=0.0,  # the switch hop carries the fabric latency
             framing_overhead=net.framing_overhead,
-            name=f"server{server_index}_uplink",
+            name=uplink_name,
+            faults=(
+                injector.link_faults(uplink_name)
+                if injector is not None
+                else None
+            ),
         )
         servers.append(
             IoServer(
@@ -98,6 +139,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                 capsuler=HintCapsuler() if sais_enabled else None,
                 tracer=tracer,
                 mss=net.mss,
+                faults=injector,
             )
         )
 
@@ -110,6 +152,11 @@ def build_cluster(config: ClusterConfig) -> Cluster:
             latency=0.0,
             framing_overhead=net.framing_overhead,
             name=f"client{idx}_uplink",
+            faults=(
+                injector.link_faults(f"client{idx}_uplink")
+                if injector is not None
+                else None
+            ),
         )
         for idx in range(config.n_clients)
     ]
@@ -163,4 +210,6 @@ def build_cluster(config: ClusterConfig) -> Cluster:
         layout=layout,
         rngs=rngs,
         tracer=tracer,
+        injector=injector,
+        client_uplinks=client_uplinks,
     )

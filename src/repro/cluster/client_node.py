@@ -33,6 +33,9 @@ from ..pfs.client import ArrivedStrip, PfsClient
 from ..pfs.layout import StripeLayout
 from ..pfs.request import StripRequest
 
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import FaultInjector
+
 __all__ = ["ClientNode"]
 
 
@@ -47,6 +50,7 @@ class ClientNode:
         policy: InterruptSchedulingPolicy,
         layout: StripeLayout,
         tracer: t.Any | None = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -75,7 +79,12 @@ class ClientNode:
         # conventional policy runs on a completely stock stack.
         sais = policy.requires_hints
         self.hint_messager = HintMessager() if sais else None
-        self.src_parser = SrcParser() if sais else None
+        # The parser knows the core count, so a corrupted option that
+        # decodes out of range is rejected at the driver (and counted)
+        # instead of crashing the I/O APIC.
+        self.src_parser = (
+            SrcParser(n_cores=client_cfg.n_cores) if sais else None
+        )
         self.im_composer = IMComposer() if sais else None
 
         self.ioapic = IoApic(env, self.cores, policy)
@@ -100,7 +109,11 @@ class ClientNode:
             submit=self._dispatch,
             hint_messager=self.hint_messager,
             tracer=tracer,
+            retry=faults.plan.strip_retry_policy() if faults else None,
         )
+        # The NIC exists before the PFS client (the APIC chain builds
+        # first), so the wire-order tripwire is attached here.
+        self.nic.rx_observer = self.pfs.observe_wire
         if isinstance(policy, SourceAwareProcessPolicy):
             policy.set_process_locator(self.pfs.locate_request)
 

@@ -15,7 +15,12 @@ import typing as t
 from ..config import ClusterConfig
 from ..des import AllOf, Process
 from ..errors import SimulationError
-from ..metrics.collectors import ClientMetrics, RunMetrics, collect_client_metrics
+from ..metrics.collectors import (
+    ClientMetrics,
+    RunMetrics,
+    collect_client_metrics,
+    collect_resilience_metrics,
+)
 from ..metrics.report import speedup
 from ..workloads.ior import spawn_ior_processes
 from .builder import Cluster, build_cluster
@@ -61,13 +66,21 @@ class Simulation:
             raise SimulationError("workload finished in zero simulated time")
 
         clients: list[ClientMetrics] = []
+        total_bytes = 0
         for client, procs in zip(cluster.clients, client_processes):
             bytes_read = sum(int(proc.value) for proc in procs)
+            total_bytes += bytes_read
             clients.append(collect_client_metrics(client, elapsed, bytes_read))
+        resilience = (
+            collect_resilience_metrics(cluster, elapsed, total_bytes)
+            if cluster.injector is not None
+            else None
+        )
         return RunMetrics(
             policy=self.config.policy,
             elapsed=elapsed,
             clients=tuple(clients),
+            resilience=resilience,
         )
 
 

@@ -21,6 +21,7 @@ import dataclasses
 import typing as t
 
 from .errors import ConfigError
+from .faults.plan import FaultPlan
 from .units import GHz, Gbit, KiB, MiB, USEC, parse_size
 
 __all__ = [
@@ -337,6 +338,10 @@ class ClusterConfig:
     seed: int = 1
     #: Collect per-strip lifecycle timestamps (repro.metrics.trace).
     trace: bool = False
+    #: Fault-injection plan (repro.faults).  None — or a plan with every
+    #: probability at zero — builds a byte-identical cluster to the
+    #: fault-free one: no injector, no watchdogs, no extra events.
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         _positive("n_servers", self.n_servers)

@@ -164,10 +164,37 @@ class SourceAwarePolicy(InterruptSchedulingPolicy):
     name = "source_aware"
     requires_hints = True
 
+    def __init__(self) -> None:
+        super().__init__()
+        #: Interrupts steered by the no-hint fallback (option-less or
+        #: unparseable packets) — the graceful-degradation counter the
+        #: resilience metrics report.
+        self.fallback_events = 0
+        #: Round-robin cursor of the degraded fallback; None until
+        #: :meth:`enable_degraded_fallback` arms it.
+        self._degraded_rr: int | None = None
+
+    def enable_degraded_fallback(self) -> None:
+        """Steer unhinted packets round-robin instead of least-loaded.
+
+        Under an option-stripping middlebox a large fraction of traffic
+        arrives unhinted; per-interrupt least-loaded selection would
+        chase load statistics packet by packet, while a round-robin
+        rotation spreads the blinded traffic predictably — the safe
+        degraded mode the fault-aware wiring arms.
+        """
+        if self._degraded_rr is None:
+            self._degraded_rr = 0
+
     def select_core(self, ctx: "InterruptContext", cores: t.Sequence["Core"]) -> int:
         aff = ctx.aff_core_id
         if aff is not None and 0 <= aff < len(cores):
             return aff
+        self.fallback_events += 1
+        if self._degraded_rr is not None:
+            core = self._degraded_rr % len(cores)
+            self._degraded_rr += 1
+            return core
         return _least_loaded(cores)
 
 

@@ -55,6 +55,14 @@ class InterruptSchedulingPolicy(abc.ABC):
     ) -> int:
         """Return the index of the core that should handle ``ctx``."""
 
+    def enable_degraded_fallback(self) -> None:
+        """Arm the policy's graceful-degradation path, if it has one.
+
+        Called by the cluster builder when a fault plan is active (a
+        middlebox may be stripping the SAIs option).  Policies that do
+        not distinguish hinted from unhinted traffic ignore this.
+        """
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"
 

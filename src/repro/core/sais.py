@@ -82,15 +82,25 @@ class HintCapsuler:
 
 
 class SrcParser:
-    """NIC-driver hook: extracts ``aff_core_id`` before the IRQ is raised."""
+    """NIC-driver hook: extracts ``aff_core_id`` before the IRQ is raised.
 
-    def __init__(self) -> None:
+    ``n_cores`` is the host's core count: a corrupted options field can
+    decode to a *syntactically* valid SAIs option naming a core the
+    machine does not have, and the driver must treat that exactly like
+    any other garbage — count it, return None, never steer there.
+    """
+
+    def __init__(self, n_cores: int | None = None) -> None:
+        self.n_cores = n_cores
         self.packets_parsed = Counter("packets_parsed")
         self.hints_found = Counter("hints_found")
         #: Packets whose options field could not be decoded.  A driver
         #: must never crash on wire garbage: the packet is treated as
         #: unhinted and interrupt routing falls back to load-based.
         self.parse_errors = Counter("parse_errors")
+        #: The subset of parse errors where a well-formed option decoded
+        #: to a core id >= ``n_cores`` (corruption fabricating a core).
+        self.hints_out_of_range = Counter("hints_out_of_range")
 
     def parse(self, packet: "Packet") -> int | None:
         """Decode the packet's IP options; None when no SAIs option.
@@ -101,7 +111,11 @@ class SrcParser:
         """
         self.packets_parsed.add()
         try:
-            aff = decode_aff_core_id(packet.options)
+            aff = decode_aff_core_id(packet.options, self.n_cores)
+        except CoreIdOutOfRangeError:
+            self.hints_out_of_range.add()
+            self.parse_errors.add()
+            return None
         except ProtocolError:
             self.parse_errors.add()
             return None

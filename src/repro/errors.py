@@ -13,6 +13,7 @@ __all__ = [
     "ProtocolError",
     "CoreIdOutOfRangeError",
     "LayoutError",
+    "StripRetryExhaustedError",
 ]
 
 
@@ -43,3 +44,13 @@ class CoreIdOutOfRangeError(ProtocolError):
 
 class LayoutError(ReproError, ValueError):
     """A file striping layout request was out of bounds or malformed."""
+
+
+class StripRetryExhaustedError(SimulationError):
+    """A strip request stayed unanswered through every client-side retry.
+
+    Raised by the PFS client's per-strip retry watchdog
+    (:class:`repro.pfs.client.PfsClient`) when a fault plan's
+    ``max_strip_retries`` re-submissions all time out — e.g. a server
+    whose transient-failure window outlasts the retry budget.
+    """

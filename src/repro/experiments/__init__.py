@@ -24,6 +24,16 @@ remaining artifacts map to:
 ``ablation_policies``   Sec. III four-policy comparison
 ``ablation_costmodel``  sensitivity to M/P and NIC bandwidth
 ===================  ==========================================
+
+Beyond the paper's figures, the resilience sweeps probe SAIs' graceful
+degradation on a faulty fabric (see :mod:`repro.faults`):
+
+==============================  ==========================================
+``resilience_loss_sweep``        bandwidth retention under loss +
+                                 option stripping + reordering
+``resilience_straggler_sweep``   bandwidth retention with one slow /
+                                 transiently-failing I/O server
+==============================  ==========================================
 """
 
 from .base import (
@@ -44,6 +54,7 @@ from . import (  # noqa: E402,F401  (registration side effects)
     fig10_11_unhalted,
     fig12_multiclient,
     fig14_memsim,
+    resilience,
     sec3_model,
 )
 

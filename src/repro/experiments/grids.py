@@ -24,6 +24,7 @@ import dataclasses
 
 from ..cluster.simulation import PolicyComparison, compare_policies
 from ..config import ClientConfig, ClusterConfig, WorkloadConfig
+from ..faults.ambient import apply_ambient_faults
 from ..units import KiB, MiB, format_size
 from .base import resolve_scale
 
@@ -93,15 +94,17 @@ def sweep_fig5_specs(
         transfer_sizes = transfer_sizes[-2:]
         server_counts = (8, 48)
     return tuple(
-        ClusterConfig(
-            n_servers=n_servers,
-            client=nic_config(nic_gigabits),
-            workload=WorkloadConfig(
-                n_processes=n_processes,
-                transfer_size=transfer,
-                file_size=file_size_for_scale(scale, transfer),
-            ),
-            seed=seed,
+        apply_ambient_faults(
+            ClusterConfig(
+                n_servers=n_servers,
+                client=nic_config(nic_gigabits),
+                workload=WorkloadConfig(
+                    n_processes=n_processes,
+                    transfer_size=transfer,
+                    file_size=file_size_for_scale(scale, transfer),
+                ),
+                seed=seed,
+            )
         )
         for transfer in transfer_sizes
         for n_servers in server_counts

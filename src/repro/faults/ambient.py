@@ -1,0 +1,66 @@
+"""Process-wide "ambient" fault plan installed by the CLI.
+
+``--fault-plan``/``--fault-seed`` should degrade *existing* experiments
+without every grid builder growing a plan parameter: the CLI installs the
+loaded plan here, and the cluster-simulation grid builders route their
+configs through :func:`apply_ambient_faults`.
+
+The ambient plan only influences *grid construction* (which happens in
+the parent process) — the plan then travels inside the pickled config
+specs, so pool workers and cache keys see it without any global state of
+their own.  Experiments that build their own fault plans (the resilience
+sweeps) and the analytic/memory-model experiments (no cluster simulation)
+ignore it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing as t
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ClusterConfig
+    from .plan import FaultPlan
+
+__all__ = [
+    "ambient_fault_plan",
+    "apply_ambient_faults",
+    "set_ambient_fault_plan",
+    "using_fault_plan",
+]
+
+_AMBIENT: "FaultPlan | None" = None
+
+
+def set_ambient_fault_plan(plan: "FaultPlan | None") -> None:
+    """Install (or clear, with None) the process-wide fault plan."""
+    global _AMBIENT
+    _AMBIENT = plan
+
+
+def ambient_fault_plan() -> "FaultPlan | None":
+    """The currently-installed ambient plan, if any."""
+    return _AMBIENT
+
+
+def apply_ambient_faults(config: "ClusterConfig") -> "ClusterConfig":
+    """Attach the ambient plan to a config that does not carry one.
+
+    A config with its own ``faults`` (the resilience experiments) wins
+    over the ambient plan.
+    """
+    plan = _AMBIENT
+    if plan is None or config.faults is not None:
+        return config
+    return config.replace(faults=plan)
+
+
+@contextlib.contextmanager
+def using_fault_plan(plan: "FaultPlan | None") -> t.Iterator[None]:
+    """Scoped ambient-plan installation (tests, embedding callers)."""
+    previous = _AMBIENT
+    set_ambient_fault_plan(plan)
+    try:
+        yield
+    finally:
+        set_ambient_fault_plan(previous)

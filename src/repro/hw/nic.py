@@ -50,6 +50,7 @@ class Nic:
         tracer: t.Any | None = None,
         napi: bool = False,
         napi_budget: int = 64,
+        rx_observer: t.Callable[["Packet"], None] | None = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -57,6 +58,11 @@ class Nic:
         self.bandwidth = bandwidth
         self.ioapic = ioapic
         self.framing_overhead = framing_overhead
+        #: Wire-arrival hook run on every received packet before the
+        #: interrupt path sees it — the TCP layer's per-strip ordering
+        #: tripwire (``PfsClient.observe_wire``).  Pure bookkeeping: it
+        #: never yields, so it costs no simulated time.
+        self.rx_observer = rx_observer
         #: Driver-level parser (SAIs ``SrcParser``), or None for a stock
         #: driver that composes interrupt messages without a hint.
         self.driver_hook = driver_hook
@@ -98,6 +104,8 @@ class Nic:
             self.tracer.record(
                 packet.dst_client, packet.strip_id, "received", self.env.now
             )
+        if self.rx_observer is not None:
+            self.rx_observer(packet)
         if self.napi:
             self._pending.append(packet)
             if self._irq_armed:

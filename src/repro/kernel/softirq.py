@@ -49,6 +49,11 @@ class SoftirqDaemon:
         self.queue: Store = Store(env)
         self.handled = Counter(f"softirq{core.index}_handled")
         self.bytes_handled = Counter(f"softirq{core.index}_bytes")
+        #: Data packets that should have carried a SAIs hint but arrived
+        #: option-less (a middlebox stripped it): the traffic the
+        #: degraded fallback steers.  Always zero on a stock stack.
+        self.unhinted = Counter(f"softirq{core.index}_unhinted")
+        self._expect_hints = pfs.hint_messager is not None
         self._process = env.process(self._run())
 
     def enqueue(self, ctx: InterruptContext) -> None:
@@ -85,6 +90,8 @@ class SoftirqDaemon:
         """Protocol-process one packet while already holding the core."""
         processing = self.costs.strip_processing_time(packet.size)
         yield from self.core.run_locked(processing, "softirq")
+        if self._expect_hints and packet.carries_data and not packet.options:
+            self.unhinted.add()
         outstanding = self.pfs.segment_arrived(packet, self.core.index)
         if outstanding is not None:
             # The strip is whole (single train, or last segment of a

@@ -20,15 +20,23 @@ from .ascii_plot import (
     heat_strip,
     plot_result,
 )
-from .collectors import ClientMetrics, RunMetrics, collect_client_metrics
+from .collectors import (
+    ClientMetrics,
+    ResilienceMetrics,
+    RunMetrics,
+    collect_client_metrics,
+    collect_resilience_metrics,
+)
 from .report import render_table, speedup
 from .sar import SarSample, SarSampler
 from .trace import LatencyBreakdown, Tracer
 
 __all__ = [
     "ClientMetrics",
+    "ResilienceMetrics",
     "RunMetrics",
     "collect_client_metrics",
+    "collect_resilience_metrics",
     "render_table",
     "speedup",
     "Tracer",

@@ -8,9 +8,63 @@ import typing as t
 from ..hw.cache import Location
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..cluster.builder import Cluster
     from ..cluster.client_node import ClientNode
 
-__all__ = ["ClientMetrics", "RunMetrics", "collect_client_metrics"]
+__all__ = [
+    "ClientMetrics",
+    "ResilienceMetrics",
+    "RunMetrics",
+    "collect_client_metrics",
+    "collect_resilience_metrics",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceMetrics:
+    """Fault-injection and recovery counters for one run.
+
+    Collected only when the cluster was built with an active
+    :class:`~repro.faults.FaultPlan`; fault-free runs carry ``None`` in
+    :attr:`RunMetrics.resilience` and pay nothing.
+    """
+
+    #: Transmission attempts lost on links (injected loss).
+    packets_dropped: int
+    #: Attempts repeated after a loss, across all links.
+    retransmits: int
+    #: Packets whose IP options a middlebox removed in flight.
+    options_stripped: int
+    #: Packets whose IP options a middlebox corrupted in flight.
+    options_corrupted: int
+    #: Packets held back by the reordering middlebox.
+    packets_delayed: int
+    #: Strip requests swallowed by a server's transient-failure window.
+    requests_dropped: int
+    #: Strip requests re-submitted by the client retry watchdog.
+    strip_retries: int
+    #: Completed strips discarded as duplicates of an earlier arrival.
+    duplicate_strips: int
+    #: Out-of-wire-order segments absorbed by TCP reassembly.
+    reorder_events: int
+    #: Duplicate TCP segments dropped during reassembly.
+    duplicate_segments: int
+    #: Interrupts steered by the degraded (hint-less) fallback.
+    fallback_steered: int
+    #: Data packets that should have carried a SAIs hint but did not.
+    unhinted_packets: int
+    #: Inbound options fields the driver could not decode.
+    parse_errors: int
+    #: Decoded hints naming a core the machine does not have.
+    hints_out_of_range: int
+    #: Bytes that actually crossed the links, retransmissions included.
+    raw_wire_bytes: int
+    #: Application-observed useful bytes/s (same basis as ``bandwidth``).
+    goodput: float
+    #: Raw link bytes/s, inflated by every retransmitted attempt.
+    raw_bandwidth: float
+    #: goodput / raw bandwidth — the efficiency lost to recovery.
+    goodput_ratio: float
 
 
 @dataclasses.dataclass(frozen=True)
@@ -59,6 +113,8 @@ class RunMetrics:
     policy: str
     elapsed: float
     clients: tuple[ClientMetrics, ...]
+    #: Fault/recovery counters; None when the run was fault-free.
+    resilience: ResilienceMetrics | None = None
 
     @property
     def bytes_read(self) -> int:
@@ -125,4 +181,61 @@ def collect_client_metrics(
         interrupts_per_core=tuple(node.ioapic.deliveries),
         busy_by_category=busy_by,
         evictions=int(node.cache.evictions.value),
+    )
+
+
+def collect_resilience_metrics(
+    cluster: "Cluster", elapsed: float, bytes_read: int
+) -> ResilienceMetrics:
+    """Aggregate fault/recovery counters from every layer after a run."""
+    injector = cluster.injector
+    if injector is None:
+        raise ValueError(
+            "collect_resilience_metrics needs a cluster with a fault injector"
+        )
+    links = [server.uplink for server in cluster.servers]
+    links.extend(cluster.client_uplinks)
+    retransmits = sum(int(link.retransmits.value) for link in links)
+    raw_wire_bytes = sum(int(link.bytes_sent.value) for link in links)
+    fallback = 0
+    unhinted = 0
+    parse_errors = 0
+    out_of_range = 0
+    strip_retries = 0
+    duplicate_strips = 0
+    reorder_events = 0
+    duplicate_segments = 0
+    for node in cluster.clients:
+        fallback += int(getattr(node.policy, "fallback_events", 0))
+        unhinted += sum(int(d.unhinted.value) for d in node.daemons)
+        if node.src_parser is not None:
+            parse_errors += int(node.src_parser.parse_errors.value)
+            out_of_range += int(node.src_parser.hints_out_of_range.value)
+        strip_retries += int(node.pfs.strip_retries.value)
+        duplicate_strips += int(node.pfs.duplicate_strips.value)
+        reorder_events += node.pfs.reorder_events
+        duplicate_segments += node.pfs.duplicate_segments
+    goodput = bytes_read / elapsed if elapsed > 0 else 0.0
+    raw_bandwidth = raw_wire_bytes / elapsed if elapsed > 0 else 0.0
+    return ResilienceMetrics(
+        packets_dropped=int(injector.packets_dropped.value),
+        retransmits=retransmits,
+        options_stripped=int(injector.options_stripped.value),
+        options_corrupted=int(injector.options_corrupted.value),
+        packets_delayed=int(injector.packets_delayed.value),
+        requests_dropped=int(injector.requests_dropped.value),
+        strip_retries=strip_retries,
+        duplicate_strips=duplicate_strips,
+        reorder_events=reorder_events,
+        duplicate_segments=duplicate_segments,
+        fallback_steered=fallback,
+        unhinted_packets=unhinted,
+        parse_errors=parse_errors,
+        hints_out_of_range=out_of_range,
+        raw_wire_bytes=raw_wire_bytes,
+        goodput=goodput,
+        raw_bandwidth=raw_bandwidth,
+        goodput_ratio=(
+            bytes_read / raw_wire_bytes if raw_wire_bytes > 0 else 0.0
+        ),
     )

@@ -80,7 +80,7 @@ def encode_aff_core_id(aff_core_id: int) -> bytes:
     return bytes([option_byte(aff_core_id), EOL, 0x00, 0x00])
 
 
-def decode_aff_core_id(options: bytes) -> int | None:
+def decode_aff_core_id(options: bytes, n_cores: int | None = None) -> int | None:
     """Extract the ``aff_core_id`` from an IP options field.
 
     Returns ``None`` if the options field is empty or contains no SAIs
@@ -88,6 +88,12 @@ def decode_aff_core_id(options: bytes) -> int | None:
     Raises :class:`~repro.errors.ProtocolError` on a malformed field.
     This is what the NIC driver's ``SrcParser`` runs on every inbound
     packet before the interrupt message is composed.
+
+    ``n_cores`` is the receiving machine's core count.  A syntactically
+    valid SAIs option whose id is >= ``n_cores`` — which corruption can
+    fabricate — raises :class:`~repro.errors.CoreIdOutOfRangeError`
+    instead of naming a core that does not exist; the caller treats it
+    like any other parse failure and falls back to unhinted routing.
     """
     if not options:
         return None
@@ -99,7 +105,14 @@ def decode_aff_core_id(options: bytes) -> int | None:
         copied = (octet & _COPIED_MASK) >> _COPIED_SHIFT
         opt_class = (octet & _CLASS_MASK) >> _CLASS_SHIFT
         if copied == SAIS_COPIED_FLAG and opt_class == SAIS_OPTION_CLASS:
-            return octet & _NUMBER_MASK
+            aff_core_id = octet & _NUMBER_MASK
+            if n_cores is not None and aff_core_id >= n_cores:
+                raise CoreIdOutOfRangeError(
+                    f"decoded aff_core_id {aff_core_id} but the receiving "
+                    f"machine has only {n_cores} cores — refusing to steer "
+                    f"an interrupt to a nonexistent core"
+                )
+            return aff_core_id
         # Not ours: a No-Operation (1) single octet we can step over; any
         # other multi-octet option would need a length we do not model.
         if octet == 0x01:  # NOP

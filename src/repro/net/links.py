@@ -13,6 +13,9 @@ from ..des import Environment, Resource
 from ..des.monitor import Counter
 from .packet import Packet
 
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import LinkFaults
+
 __all__ = ["Link"]
 
 
@@ -26,6 +29,7 @@ class Link:
         latency: float = 0.0,
         framing_overhead: float = 0.0,
         name: str = "link",
+        faults: "LinkFaults | None" = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -36,9 +40,13 @@ class Link:
         self.latency = latency
         self.framing_overhead = framing_overhead
         self.name = name
+        #: Loss injection + backoff schedule; None on a fault-free link.
+        self.faults = faults
         self._wire = Resource(env, capacity=1)
         self.bytes_sent = Counter(f"{name}_bytes")
         self.packets_sent = Counter(f"{name}_packets")
+        #: Transmission attempts repeated after an injected loss.
+        self.retransmits = Counter(f"{name}_retransmits")
 
     def serialization_time(self, nbytes: int) -> float:
         """Wire time for ``nbytes`` of payload including framing."""
@@ -54,12 +62,28 @@ class Link:
         ``deliver`` is invoked (not awaited) once the packet lands after
         the propagation latency; if it returns a generator it is spawned as
         a new process, so delivery chains (e.g. into the next hop) compose.
+
+        With :attr:`faults` installed, a transmission attempt may be lost:
+        the sender still paid the wire time (the bytes really crossed the
+        link — that is what goodput-vs-raw-bandwidth measures), then waits
+        out an exponentially backed-off retransmission timeout and sends
+        again.  The caller stays blocked until an attempt gets through, so
+        per-strip segment order is preserved under pure loss.
         """
-        with self._wire.request() as req:
-            yield req
-            yield self.env.timeout(self.serialization_time(packet.size))
-        self.bytes_sent.add(packet.size)
-        self.packets_sent.add()
+        attempt = 0
+        while True:
+            with self._wire.request() as req:
+                yield req
+                yield self.env.timeout(self.serialization_time(packet.size))
+            self.bytes_sent.add(packet.size)
+            self.packets_sent.add()
+            if self.faults is None or not self.faults.should_drop(
+                packet, attempt
+            ):
+                break
+            attempt += 1
+            self.retransmits.add()
+            yield self.env.timeout(self.faults.retransmit_delay(attempt))
 
         def _arrive() -> t.Generator:
             if self.latency > 0:

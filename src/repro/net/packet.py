@@ -58,3 +58,20 @@ class Packet:
     def is_last_segment(self) -> bool:
         """True if this packet completes its strip."""
         return self.segment == self.n_segments - 1
+
+    @property
+    def flow_identity(self) -> tuple[int, int, int, int, int]:
+        """Stable wire identity: (flow endpoints, request, strip, segment).
+
+        Keys order-independent per-packet decisions — fault injection
+        uses it with :func:`repro.rng.hash_unit` the same way the server
+        page-cache model keys residency: by the object, not by event
+        order, so paired A/B runs see the same pattern.
+        """
+        return (
+            self.src_server,
+            self.dst_client,
+            self.request_id,
+            self.strip_id,
+            self.segment,
+        )

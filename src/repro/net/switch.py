@@ -25,6 +25,7 @@ class Switch:
         env: Environment,
         backplane_bandwidth: float,
         latency: float = 0.0,
+        middlebox: t.Callable[[Packet], tuple[Packet, float]] | None = None,
     ) -> None:
         if backplane_bandwidth <= 0:
             raise ValueError(
@@ -33,6 +34,10 @@ class Switch:
         self.env = env
         self.backplane_bandwidth = backplane_bandwidth
         self.latency = latency
+        #: In-network hazard hook (``FaultInjector.middlebox``): may
+        #: replace the packet (options stripped/corrupted) and return an
+        #: extra delivery delay (reordering).  None on a healthy fabric.
+        self.middlebox = middlebox
         self._fabric = Resource(env, capacity=1)
         self.bytes_switched = Counter("switch_bytes")
         self.packets_switched = Counter("switch_packets")
@@ -52,10 +57,14 @@ class Switch:
             yield self.env.timeout(packet.size / self.backplane_bandwidth)
         self.bytes_switched.add(packet.size)
         self.packets_switched.add()
+        extra_delay = 0.0
+        if self.middlebox is not None:
+            packet, extra_delay = self.middlebox(packet)
 
         def _arrive() -> t.Generator:
-            if self.latency > 0:
-                yield self.env.timeout(self.latency)
+            delay = self.latency + extra_delay
+            if delay > 0:
+                yield self.env.timeout(delay)
             result = deliver(packet)
             if result is not None and hasattr(result, "send"):
                 yield from result

@@ -7,6 +7,15 @@ each of which raises its own (coalesced) interrupt.  Congestion control is
 not modeled: the experiments run on an uncongested dedicated switch where
 the windows stay open (the links' serialization already enforces the
 bandwidth ceilings).
+
+Fault tolerance: on a fault-free fabric every hop is FIFO, so a segment
+arriving out of order means a *wiring bug* and :meth:`TcpStream.observe_wire`
+raises :class:`~repro.errors.ProtocolError` — the hard tripwire the base
+model has always had.  When a :class:`~repro.faults.FaultPlan` is active
+(``fault_tolerant=True``) reordering and duplication are expected wire
+behaviour: the stream counts them and the per-strip assembly buffers
+whatever order segments arrive in, reassembling the strip once every
+ordinal is present — i.e. buffer-and-reassemble instead of crash.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ def segment_sizes(nbytes: int, mss: int) -> list[int]:
 class _StripAssembly:
     expected: int
     received: set[int] = dataclasses.field(default_factory=set)
+    nbytes: int = 0
 
 
 class TcpStream:
@@ -50,15 +60,29 @@ class TcpStream:
     The sender pushes packets (segments) in order; :meth:`deliver` tells the
     receiver whether a strip just completed.  Out-of-order arrival on one
     stream is a protocol error — the links are FIFO, so seeing it means a
-    wiring bug in the fabric model.
+    wiring bug in the fabric model — *unless* the stream was built
+    ``fault_tolerant`` because an active fault plan makes reordering a
+    legitimate hazard to absorb.
     """
 
-    def __init__(self, server: int, client: int) -> None:
+    def __init__(
+        self, server: int, client: int, fault_tolerant: bool = False
+    ) -> None:
         self.server = server
         self.client = client
+        #: Reordering/duplication tolerated (an active fault plan) rather
+        #: than treated as a fabric wiring bug.
+        self.fault_tolerant = fault_tolerant
         self._next_seq = 0
         self._in_flight: dict[int, _StripAssembly] = {}
         self._completed: deque[int] = deque()
+        self._completed_sizes: dict[int, int] = {}
+        #: Next wire-arrival segment ordinal expected per in-flight strip.
+        self._wire_cursor: dict[int, int] = {}
+        #: Segments that arrived out of wire order (tolerant mode only).
+        self.reorder_events = 0
+        #: Segments received again for an ordinal already assembled.
+        self.duplicate_segments = 0
 
     def next_sequence(self) -> int:
         """Allocate the next segment sequence number for the sender."""
@@ -86,6 +110,36 @@ class TcpStream:
             for i, size in enumerate(sizes)
         ]
 
+    def observe_wire(self, packet: Packet) -> bool:
+        """Record a segment's *wire arrival* order; True if it was in order.
+
+        A strip's segments serialize through FIFO hops, so on a healthy
+        fabric they reach the NIC in ordinal order; anything else raises
+        :class:`~repro.errors.ProtocolError` (wiring-bug tripwire).  In
+        fault-tolerant mode the event is counted instead and the strip
+        assembly buffers the segment for reassembly.
+        """
+        if packet.n_segments <= 1:
+            return True
+        expected = self._wire_cursor.get(packet.strip_id, 0)
+        if packet.segment == expected:
+            nxt = expected + 1
+            if nxt >= packet.n_segments:
+                self._wire_cursor.pop(packet.strip_id, None)
+            else:
+                self._wire_cursor[packet.strip_id] = nxt
+            return True
+        if not self.fault_tolerant:
+            raise ProtocolError(
+                f"out-of-order segment {packet.segment} of strip "
+                f"{packet.strip_id} (expected {expected}) on stream "
+                f"({self.server}->{self.client}) with no fault plan active"
+            )
+        self.reorder_events += 1
+        if packet.segment > expected:
+            self._wire_cursor[packet.strip_id] = packet.segment + 1
+        return False
+
     def deliver(self, packet: Packet) -> bool:
         """Record one received segment; returns True when its strip is whole."""
         if packet.src_server != self.server or packet.dst_client != self.client:
@@ -102,15 +156,32 @@ class TcpStream:
                 f"inconsistent segmentation for strip {packet.strip_id}"
             )
         if packet.segment in assembly.received:
+            if self.fault_tolerant:
+                # A client-side strip retry re-served data we already
+                # hold; drop the duplicate bytes on the floor.
+                self.duplicate_segments += 1
+                return False
             raise ProtocolError(
                 f"duplicate segment {packet.segment} for strip {packet.strip_id}"
             )
         assembly.received.add(packet.segment)
+        assembly.nbytes += packet.size
         if len(assembly.received) == assembly.expected:
             del self._in_flight[packet.strip_id]
+            self._wire_cursor.pop(packet.strip_id, None)
             self._completed.append(packet.strip_id)
+            self._completed_sizes[packet.strip_id] = assembly.nbytes
             return True
         return False
+
+    def take_completed_size(self, strip_id: int) -> int:
+        """Claim the reassembled byte count of a just-completed strip."""
+        try:
+            return self._completed_sizes.pop(strip_id)
+        except KeyError:
+            raise ProtocolError(
+                f"strip {strip_id} has no completed assembly to claim"
+            ) from None
 
     @property
     def strips_completed(self) -> int:

@@ -22,12 +22,13 @@ from itertools import count
 from ..core.sais import HintMessager
 from ..des import Environment, Store
 from ..des.monitor import Counter
-from ..errors import SimulationError
+from ..errors import SimulationError, StripRetryExhaustedError
 from ..net.tcp import TcpStream
 from .layout import StripeLayout
 from .request import IoRequest, StripRequest
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.plan import StripRetryPolicy
     from ..net.packet import Packet
 
 __all__ = ["PfsClient", "OutstandingRequest", "ArrivedStrip"]
@@ -74,6 +75,7 @@ class PfsClient:
         submit: t.Callable[[StripRequest], None],
         hint_messager: HintMessager | None = None,
         tracer: t.Any | None = None,
+        retry: "StripRetryPolicy | None" = None,
     ) -> None:
         self.env = env
         self.client_index = client_index
@@ -85,15 +87,25 @@ class PfsClient:
         self.hint_messager = hint_messager
         #: Optional per-strip lifecycle tracer (repro.metrics.trace).
         self.tracer = tracer
+        #: Retry knobs when a fault plan is active; None on a healthy
+        #: fabric, where the client keeps its strict wiring tripwires.
+        self.retry = retry
+        self._fault_tolerant = retry is not None
         self._request_ids = count()
         self._strip_tokens = count()
         self._outstanding: dict[int, OutstandingRequest] = {}
         #: Per-server TCP reassembly state (segmented flows only).
         self._tcp_streams: dict[int, TcpStream] = {}
-        self._assembly_bytes: dict[int, int] = {}
+        #: Strips already handed to their consumer — dedups re-served
+        #: strips when a retry raced the original (tolerant mode only).
+        self._arrived_strips: set[int] = set()
         self.requests_issued = Counter("pfs_requests")
         self.strips_requested = Counter("pfs_strips")
         self.bytes_requested = Counter("pfs_bytes")
+        #: Strip requests re-submitted by the retry watchdog.
+        self.strip_retries = Counter("pfs_strip_retries")
+        #: Completed strips discarded as duplicates of an earlier arrival.
+        self.duplicate_strips = Counter("pfs_duplicate_strips")
 
     # -- issue path -------------------------------------------------------------
 
@@ -148,7 +160,39 @@ class PfsClient:
                 )
             self.strips_requested.add()
             self._submit(strip_request)
+            if self._fault_tolerant:
+                self.env.process(self._strip_watchdog(strip_request))
         return outstanding
+
+    def _strip_watchdog(self, request: StripRequest) -> t.Generator:
+        """Re-submit a strip that stays unanswered; capped retries.
+
+        Recovers requests swallowed by a server's transient-failure
+        window.  The exception raised after the cap propagates out of
+        ``env.run`` (the DES stops the world on an unwaited process
+        failure), surfacing as a typed error rather than a hang.
+        """
+        assert self.retry is not None
+        delay = self.retry.timeout
+        for _attempt in range(self.retry.max_retries):
+            yield self.env.timeout(delay)
+            if request.strip_id in self._arrived_strips:
+                return
+            self.strip_retries.add()
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.client_index, request.strip_id, "retried", self.env.now
+                )
+            self._submit(request)
+            delay *= self.retry.backoff
+        yield self.env.timeout(delay)
+        if request.strip_id in self._arrived_strips:
+            return
+        raise StripRetryExhaustedError(
+            f"strip {request.strip_id} (request {request.request_id}, "
+            f"server {request.server}) still missing after "
+            f"{self.retry.max_retries} retries"
+        )
 
     # -- completion path ---------------------------------------------------------
 
@@ -164,22 +208,51 @@ class PfsClient:
         """
         if packet.n_segments == 1:
             return self.strip_arrived(packet, handled_on)
-        stream = self._tcp_streams.setdefault(
-            packet.src_server, TcpStream(packet.src_server, self.client_index)
-        )
-        self._assembly_bytes[packet.strip_id] = (
-            self._assembly_bytes.get(packet.strip_id, 0) + packet.size
-        )
+        stream = self._stream_for(packet.src_server)
         if not stream.deliver(packet):
             return None
-        full_size = self._assembly_bytes.pop(packet.strip_id)
+        full_size = stream.take_completed_size(packet.strip_id)
         whole = dataclasses.replace(
             packet, size=full_size, segment=0, n_segments=1
         )
         return self.strip_arrived(whole, handled_on)
 
-    def strip_arrived(self, packet: "Packet", handled_on: int) -> OutstandingRequest:
-        """Called by the softirq once a strip's packet train is processed."""
+    def observe_wire(self, packet: "Packet") -> None:
+        """NIC-arrival hook: enforce (or count) per-strip wire ordering.
+
+        Runs before the interrupt path touches the packet.  On a healthy
+        fabric an out-of-order segment is a wiring bug and raises; with a
+        fault plan active the stream just counts the reordering and the
+        assembly buffers the segment (see ``TcpStream.observe_wire``).
+        """
+        if packet.n_segments <= 1:
+            return
+        self._stream_for(packet.src_server).observe_wire(packet)
+
+    def _stream_for(self, server: int) -> TcpStream:
+        stream = self._tcp_streams.get(server)
+        if stream is None:
+            stream = TcpStream(
+                server, self.client_index, fault_tolerant=self._fault_tolerant
+            )
+            self._tcp_streams[server] = stream
+        return stream
+
+    def strip_arrived(
+        self, packet: "Packet", handled_on: int
+    ) -> OutstandingRequest | None:
+        """Called by the softirq once a strip's packet train is processed.
+
+        In fault-tolerant mode a strip can legitimately complete twice —
+        the retry watchdog re-served it and the original then landed.
+        The duplicate is counted and dropped (returns None) so the
+        consumer sees each strip exactly once.
+        """
+        if self._fault_tolerant:
+            if packet.strip_id in self._arrived_strips:
+                self.duplicate_strips.add()
+                return None
+            self._arrived_strips.add(packet.strip_id)
         outstanding = self._outstanding.get(packet.request_id)
         if outstanding is None:
             raise SimulationError(
@@ -217,3 +290,13 @@ class PfsClient:
     def in_flight(self) -> int:
         """Number of requests not yet retired."""
         return len(self._outstanding)
+
+    @property
+    def reorder_events(self) -> int:
+        """Out-of-wire-order segments absorbed across all server streams."""
+        return sum(s.reorder_events for s in self._tcp_streams.values())
+
+    @property
+    def duplicate_segments(self) -> int:
+        """Duplicate segments dropped across all server streams."""
+        return sum(s.duplicate_segments for s in self._tcp_streams.values())

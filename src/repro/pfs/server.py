@@ -41,6 +41,7 @@ class IoServer:
         capsuler: HintCapsuler | None = None,
         tracer: t.Any | None = None,
         mss: int | None = None,
+        faults: t.Any | None = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -54,6 +55,9 @@ class IoServer:
         self.tracer = tracer
         #: TCP maximum segment size; None = one coalesced train per strip.
         self.mss = mss
+        #: Fault injector (straggler slowdown, transient-failure windows);
+        #: None on a healthy cluster.
+        self.faults = faults
         self._streams: dict[int, TcpStream] = {}
         self.disk = Disk(
             env, rate=config.disk_rate, seek=config.disk_seek, rng=rng
@@ -68,9 +72,11 @@ class IoServer:
             raise ValueError(
                 f"strip for server {request.server} routed to server {self.index}"
             )
+        if self._drop_if_offline():
+            return
         if self.config.service_overhead > 0:
             yield self.env.timeout(self.config.service_overhead)
-        yield from self._fetch(request.size, request.offset)
+        yield from self._storage_fetch(request.size, request.offset)
         packet = Packet(
             size=request.size,
             src_server=self.index,
@@ -114,6 +120,8 @@ class IoServer:
             )
         if not request.is_write:
             raise ValueError("serve_write called with a read strip request")
+        if self._drop_if_offline():
+            return
         if self.config.service_overhead > 0:
             yield self.env.timeout(self.config.service_overhead)
         # Buffered write: memory-speed copy into the page cache.
@@ -134,6 +142,39 @@ class IoServer:
         self.strips_served.add()
         self.bytes_served.add(request.size)
         yield from self.uplink.transmit(ack, self._deliver)
+
+    def _drop_if_offline(self) -> bool:
+        """Transient-failure check: inside a window, requests vanish.
+
+        The client-side retry watchdog is what recovers them — exactly
+        the failure mode a crashed-and-restarting server presents.
+        """
+        if self.faults is not None and self.faults.server_offline(
+            self.index, self.env.now
+        ):
+            self.faults.requests_dropped.add()
+            return True
+        return False
+
+    def _storage_fetch(self, nbytes: int, offset: int) -> t.Generator:
+        """:meth:`_fetch` plus the straggler slowdown, when one applies.
+
+        The slowdown is charged as extra service time proportional to
+        the *measured* fetch duration, so it stretches cache hits and
+        disk reads alike — a uniformly slow server, as in the straggler
+        literature, not just a slow spindle.
+        """
+        factor = (
+            self.faults.server_slowdown(self.index)
+            if self.faults is not None
+            else 1.0
+        )
+        if factor <= 1.0:
+            yield from self._fetch(nbytes, offset)
+            return
+        started = self.env.now
+        yield from self._fetch(nbytes, offset)
+        yield self.env.timeout((factor - 1.0) * (self.env.now - started))
 
     def _fetch(self, nbytes: int, offset: int) -> t.Generator:
         """Read ``nbytes`` at ``offset`` from page cache or disk.

@@ -87,6 +87,25 @@ class TestSrcParser:
         assert parser.packets_parsed.value == 1
         assert parser.hints_found.value == 0
 
+    def test_out_of_range_hint_counted_not_steered(self):
+        # A corrupted option can decode to a well-formed hint naming a
+        # core the machine does not have; the driver must treat it as
+        # garbage, not raise and not steer.
+        capsuler, parser = HintCapsuler(), SrcParser(n_cores=8)
+        packet = make_packet()
+        capsuler.encapsulate(packet, 20)  # encodable, but host has 8 cores
+        assert parser.parse(packet) is None
+        assert parser.hints_out_of_range.value == 1
+        assert parser.parse_errors.value == 1
+        assert parser.hints_found.value == 0
+
+    def test_in_range_hint_unaffected_by_core_count(self):
+        capsuler, parser = HintCapsuler(), SrcParser(n_cores=8)
+        packet = make_packet()
+        capsuler.encapsulate(packet, 3)
+        assert parser.parse(packet) == 3
+        assert parser.hints_out_of_range.value == 0
+
 
 class TestIMComposer:
     def test_composes_context_with_aff(self):

@@ -1,0 +1,189 @@
+"""The resilience sweeps: registration, recovery counters, determinism,
+zero-fault golden identity, and the CLI's --fault-plan hardening."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import all_experiment_ids, run_experiment_by_id
+from repro.experiments.base import get_grid_experiment
+from repro.experiments.grids import sweep_fig5_specs
+from repro.faults import FaultPlan, set_ambient_fault_plan, using_fault_plan
+from repro.runner import ExperimentRunner
+
+RESILIENCE_IDS = ("resilience_loss_sweep", "resilience_straggler_sweep")
+
+
+@pytest.fixture(autouse=True)
+def clear_ambient_plan():
+    """CLI runs below install a process-wide plan; never leak it."""
+    yield
+    set_ambient_fault_plan(None)
+
+
+class TestRegistration:
+    def test_both_sweeps_registered(self):
+        ids = set(all_experiment_ids())
+        assert set(RESILIENCE_IDS).issubset(ids)
+
+    @pytest.mark.parametrize("exp_id", RESILIENCE_IDS)
+    def test_grid_decomposition_available(self, exp_id):
+        experiment = get_grid_experiment(exp_id)
+        specs = experiment.grid("quick")
+        assert len(specs) >= 3
+        # The first cell is the fault-free retention base.
+        assert specs[0].faults is None
+        assert all(spec.faults is not None for spec in specs[1:])
+
+
+class TestQuickRuns:
+    @pytest.fixture(scope="class")
+    def loss_result(self):
+        return run_experiment_by_id("resilience_loss_sweep", scale="quick")
+
+    @pytest.fixture(scope="class")
+    def straggler_result(self):
+        return run_experiment_by_id(
+            "resilience_straggler_sweep", scale="quick"
+        )
+
+    def test_loss_sweep_reports_recovery_counters(self, loss_result):
+        by_header = dict(zip(loss_result.headers, zip(*loss_result.rows)))
+        retransmits = [int(v) for v in by_header["retransmits"]]
+        fallbacks = [int(v) for v in by_header["fallback steered"]]
+        assert retransmits[0] == 0  # fault-free base row
+        assert any(v > 0 for v in retransmits[1:])
+        assert any(v > 0 for v in fallbacks[1:])
+
+    def test_loss_sweep_goodput_ratio_degrades(self, loss_result):
+        ratios = [float(row[-1]) for row in loss_result.rows]
+        assert ratios[0] == 1.0
+        assert ratios[-1] < 1.0
+
+    def test_straggler_sweep_exercises_retries(self, straggler_result):
+        by_header = dict(
+            zip(straggler_result.headers, zip(*straggler_result.rows))
+        )
+        dropped = [int(v) for v in by_header["requests dropped"]]
+        retries = [int(v) for v in by_header["strip retries"]]
+        # The top slowdown level includes the transient-failure window.
+        assert dropped[-1] > 0
+        assert retries[-1] > 0
+
+    def test_retention_measured_for_both_policies(self, straggler_result):
+        assert "sais_retention_at_worst" in straggler_result.measured
+        worst = straggler_result.measured["sais_retention_at_worst"]
+        assert 0 < worst < 1  # an 8x straggler genuinely hurts
+
+
+class TestDeterminism:
+    def test_pool_matches_serial(self):
+        serial = ExperimentRunner(jobs=1, use_cache=False).run_many(
+            RESILIENCE_IDS, scale="quick"
+        )
+        pooled = ExperimentRunner(jobs=4, use_cache=False).run_many(
+            RESILIENCE_IDS, scale="quick"
+        )
+        serial_json = json.dumps(
+            [r.to_dict() for r in serial.results], sort_keys=True
+        )
+        pooled_json = json.dumps(
+            [r.to_dict() for r in pooled.results], sort_keys=True
+        )
+        assert serial_json == pooled_json
+
+    def test_ambient_plan_survives_pool_workers(self):
+        """The ambient plan is baked into the pickled specs, so pooled
+        and serial runs of a *faulted* standard sweep agree bit-for-bit."""
+        plan = FaultPlan(loss_prob=0.05, seed=4, retransmit_timeout=100e-6)
+        with using_fault_plan(plan):
+            serial = ExperimentRunner(jobs=1, use_cache=False).run_many(
+                ["fig5_bandwidth_3g"], scale="quick"
+            )
+            pooled = ExperimentRunner(jobs=4, use_cache=False).run_many(
+                ["fig5_bandwidth_3g"], scale="quick"
+            )
+        assert (
+            serial.results[0].to_dict() == pooled.results[0].to_dict()
+        )
+
+
+class TestZeroFaultGoldenIdentity:
+    def test_null_ambient_plan_matches_golden(self):
+        """All probabilities zero => the standard experiments' output is
+        byte-identical to the checked-in fault-free goldens."""
+        from .conftest import GOLDENS_DIR
+
+        golden = json.loads(
+            (GOLDENS_DIR / "fig5_bandwidth_3g.quick.json").read_text()
+        )
+        with using_fault_plan(FaultPlan()):
+            payload = run_experiment_by_id(
+                "fig5_bandwidth_3g", scale="quick"
+            ).to_dict()
+        assert payload == golden
+
+    def test_null_ambient_plan_builds_unfaulted_configs(self):
+        with using_fault_plan(FaultPlan()):
+            specs = sweep_fig5_specs("quick", nic_gigabits=3)
+        # The null plan is attached (it is not None)...
+        assert all(spec.faults is not None for spec in specs)
+        # ...but builds no injector, so behaviour is identical (the
+        # golden comparison above proves it end to end).
+        assert all(spec.faults.is_null for spec in specs)
+
+
+class TestCliHardening:
+    def test_malformed_plan_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text("{broken")
+        code = main(
+            ["run", "fig14_memsim", "--scale", "quick",
+             "--fault-plan", str(path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "sais-repro:" in err and "plan.json" in err
+
+    def test_unknown_plan_key_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"loss_probability": 0.1}))
+        assert (
+            main(["run", "fig14_memsim", "--scale", "quick",
+                  "--fault-plan", str(path)]) == 2
+        )
+        assert "loss_probability" in capsys.readouterr().err
+
+    def test_missing_plan_file_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "absent.json")
+        assert (
+            main(["run", "fig14_memsim", "--scale", "quick",
+                  "--fault-plan", missing]) == 2
+        )
+        assert "absent.json" in capsys.readouterr().err
+
+    def test_fault_seed_requires_fault_plan(self, capsys):
+        assert (
+            main(["run", "fig14_memsim", "--scale", "quick",
+                  "--fault-seed", "7"]) == 2
+        )
+        assert "--fault-plan" in capsys.readouterr().err
+
+    def test_valid_plan_accepted(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"loss_prob": 0.0}))
+        code = main(
+            ["run", "sec3_model", "--scale", "quick", "--no-cache",
+             "--fault-plan", str(path), "--fault-seed", "7"]
+        )
+        assert code == 0
+
+    def test_resilience_sweeps_run_from_cli(self, capsys):
+        code = main(
+            ["run", "resilience_loss_sweep", "--scale", "quick",
+             "--no-cache"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "retention" in out

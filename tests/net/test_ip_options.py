@@ -80,3 +80,29 @@ class TestDecode:
 
     def test_trailing_nops_without_option(self):
         assert decode_aff_core_id(bytes([0x01, 0x01])) is None
+
+
+class TestDecodeAgainstCoreCount:
+    """Regression: a corrupted option can decode to a *syntactically*
+    valid SAIs hint naming a core the machine does not have; with
+    ``n_cores`` passed, the decoder must reject it as out of range."""
+
+    def test_in_range_hint_accepted(self):
+        assert decode_aff_core_id(encode_aff_core_id(7), n_cores=8) == 7
+
+    def test_boundary_core_accepted(self):
+        assert decode_aff_core_id(encode_aff_core_id(7), n_cores=8) == 7
+        assert decode_aff_core_id(encode_aff_core_id(0), n_cores=1) == 0
+
+    @pytest.mark.parametrize("core,n_cores", [(8, 8), (31, 8), (1, 1)])
+    def test_out_of_range_hint_rejected(self, core, n_cores):
+        encoded = encode_aff_core_id(core)
+        with pytest.raises(CoreIdOutOfRangeError):
+            decode_aff_core_id(encoded, n_cores=n_cores)
+
+    def test_without_core_count_any_encodable_id_passes(self):
+        # Backwards compatible: no n_cores, no range check.
+        assert decode_aff_core_id(encode_aff_core_id(31)) == 31
+
+    def test_no_hint_is_not_range_checked(self):
+        assert decode_aff_core_id(b"", n_cores=1) is None

@@ -1,0 +1,93 @@
+"""TcpStream's wire-order tripwire vs its fault-tolerant reassembly mode."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.net.packet import Packet
+from repro.net.tcp import TcpStream
+from repro.units import KiB
+
+
+def seg(stream_args=(0, 0), strip_id=0, segment=0, n_segments=4, size=1 * KiB):
+    server, client = stream_args
+    return Packet(
+        size=size,
+        src_server=server,
+        dst_client=client,
+        request_id=0,
+        strip_id=strip_id,
+        segment=segment,
+        n_segments=n_segments,
+    )
+
+
+class TestStrictWireOrder:
+    def test_in_order_segments_accepted(self):
+        stream = TcpStream(0, 0)
+        for i in range(4):
+            assert stream.observe_wire(seg(segment=i)) is True
+
+    def test_out_of_order_raises_without_fault_plan(self):
+        stream = TcpStream(0, 0)
+        stream.observe_wire(seg(segment=0))
+        with pytest.raises(ProtocolError) as excinfo:
+            stream.observe_wire(seg(segment=2))
+        assert "no fault plan active" in str(excinfo.value)
+
+    def test_unsegmented_packets_ignored(self):
+        stream = TcpStream(0, 0)
+        assert stream.observe_wire(seg(segment=0, n_segments=1)) is True
+
+    def test_interleaved_strips_are_not_reordering(self):
+        # Two strips' trains legitimately interleave on one uplink; the
+        # cursor is per strip, so this must never trip the tripwire.
+        stream = TcpStream(0, 0)
+        assert stream.observe_wire(seg(strip_id=0, segment=0))
+        assert stream.observe_wire(seg(strip_id=1, segment=0))
+        assert stream.observe_wire(seg(strip_id=0, segment=1))
+        assert stream.observe_wire(seg(strip_id=1, segment=1))
+
+    def test_duplicate_delivery_raises_without_fault_plan(self):
+        stream = TcpStream(0, 0)
+        stream.deliver(seg(segment=0))
+        with pytest.raises(ProtocolError):
+            stream.deliver(seg(segment=0))
+
+
+class TestTolerantReassembly:
+    def test_out_of_order_counted_not_raised(self):
+        stream = TcpStream(0, 0, fault_tolerant=True)
+        assert stream.observe_wire(seg(segment=1)) is False
+        assert stream.reorder_events == 1
+
+    def test_late_straggler_counted_once(self):
+        stream = TcpStream(0, 0, fault_tolerant=True)
+        stream.observe_wire(seg(segment=0))
+        stream.observe_wire(seg(segment=2))  # overtook segment 1
+        assert stream.observe_wire(seg(segment=1)) is False
+        assert stream.reorder_events == 2
+
+    def test_reassembly_completes_in_any_order(self):
+        stream = TcpStream(0, 0, fault_tolerant=True)
+        order = [2, 0, 3, 1]
+        done = [stream.deliver(seg(segment=i)) for i in order]
+        assert done == [False, False, False, True]
+        assert stream.take_completed_size(0) == 4 * KiB
+
+    def test_duplicate_segment_dropped_and_counted(self):
+        stream = TcpStream(0, 0, fault_tolerant=True)
+        stream.deliver(seg(segment=0))
+        assert stream.deliver(seg(segment=0)) is False
+        assert stream.duplicate_segments == 1
+        # The strip still completes with the remaining ordinals.
+        for i in (1, 2):
+            assert stream.deliver(seg(segment=i)) is False
+        assert stream.deliver(seg(segment=3)) is True
+
+    def test_completed_size_claimed_once(self):
+        stream = TcpStream(0, 0, fault_tolerant=True)
+        for i in range(4):
+            stream.deliver(seg(segment=i))
+        stream.take_completed_size(0)
+        with pytest.raises(ProtocolError):
+            stream.take_completed_size(0)
