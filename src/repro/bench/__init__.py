@@ -1,0 +1,20 @@
+"""Kernel benchmark subsystem: measure the simulator, not the paper.
+
+``python -m repro bench`` runs a pinned suite of representative experiment
+points (:mod:`repro.bench.suite`), records wall-time / events-processed /
+events-per-second into a ``BENCH_<rev>.json`` trajectory file at the repo
+root, and compares against the last committed baseline with a configurable
+regression threshold (:mod:`repro.bench.runner`).
+
+The suite is *pinned*: entries are fixed configs, never derived from the
+experiment registry, so the workload being timed cannot drift when the
+figure experiments change.  Event counts are deterministic (the DES kernel
+is); wall times are environment noise, which is why the regression gate
+compares total wall time with a generous threshold while event counts are
+compared exactly.
+"""
+
+from .runner import main as run_bench
+from .suite import BenchEntry, bench_entries
+
+__all__ = ["BenchEntry", "bench_entries", "run_bench"]

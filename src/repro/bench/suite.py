@@ -1,0 +1,129 @@
+"""The pinned benchmark suite.
+
+Each entry is one deterministic simulation point chosen to exercise a
+distinct kernel regime:
+
+* ``mtu1500_read`` — standard-Ethernet MSS: every 64 KiB strip travels as
+  a ~44-segment train, so per-segment wire/interrupt events dominate.
+  This is the regime the coalesced wire fast path targets.
+* ``jumbo9k_read`` — jumbo-frame MSS (the resilience sweeps' fabric):
+  ~8 segments per strip, an even mix of per-segment and per-strip work.
+* ``strip_train_read`` — ``mss=None`` (the paper's one-interrupt-per-strip
+  accounting): per-strip events dominate; measures the non-segmented path
+  the Fig. 5–11 sweeps spend most of their time in.
+* ``micro_read`` — a seconds-scale smoke point small enough for unit tests
+  and CI to run the full bench machinery end-to-end.
+
+All entries run fault-free (the fast-path regime) under the ``source_aware``
+policy, except where noted; the ``full`` scale adds the irqbalance policy
+path, NAPI coalescing and the write path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..config import ClusterConfig, NetworkConfig, WorkloadConfig
+from ..experiments.grids import nic_config
+from ..units import KiB, MiB
+
+__all__ = ["BenchEntry", "bench_entries", "entry_by_name"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchEntry:
+    """One pinned benchmark point."""
+
+    name: str
+    title: str
+    config: ClusterConfig
+    #: Included in the quick suite (CI smoke + the committed trajectory).
+    quick: bool = True
+
+
+def _point(
+    mss: int | None,
+    *,
+    policy: str = "source_aware",
+    transfer: int = 512 * KiB,
+    file_size: int = 2 * MiB,
+    n_processes: int = 4,
+    operation: str = "read",
+    napi: bool = False,
+) -> ClusterConfig:
+    """The suite's common 8-server, 3-Gigabit-client point."""
+    client = nic_config(3)
+    if napi:
+        client = dataclasses.replace(client, napi=True)
+    return ClusterConfig(
+        n_servers=8,
+        client=client,
+        network=NetworkConfig(mss=mss),
+        workload=WorkloadConfig(
+            n_processes=n_processes,
+            transfer_size=transfer,
+            file_size=file_size,
+            operation=operation,
+        ),
+        policy=policy,
+    )
+
+
+def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
+    """The pinned suite; ``scale`` is ``"quick"`` or ``"full"``."""
+    entries = (
+        BenchEntry(
+            name="mtu1500_read",
+            title="read, MSS 1500 (segment-train heavy)",
+            config=_point(1500),
+        ),
+        BenchEntry(
+            name="jumbo9k_read",
+            title="read, MSS 8960 (jumbo frames)",
+            config=_point(8960),
+        ),
+        BenchEntry(
+            name="strip_train_read",
+            title="read, coalesced strip trains (mss=None)",
+            config=_point(None),
+        ),
+        BenchEntry(
+            name="micro_read",
+            title="micro smoke point (tiny file, MSS 1500)",
+            config=_point(
+                1500, transfer=128 * KiB, file_size=256 * KiB, n_processes=2
+            ),
+        ),
+        BenchEntry(
+            name="irqbalance_jumbo9k",
+            title="read, MSS 8960, irqbalance policy",
+            config=_point(8960, policy="irqbalance"),
+            quick=False,
+        ),
+        BenchEntry(
+            name="napi_mtu1500",
+            title="read, MSS 1500, NAPI coalescing",
+            config=_point(1500, napi=True),
+            quick=False,
+        ),
+        BenchEntry(
+            name="write_path",
+            title="write, coalesced strip trains",
+            config=_point(None, operation="write"),
+            quick=False,
+        ),
+    )
+    if scale == "quick":
+        return tuple(e for e in entries if e.quick)
+    if scale == "full":
+        return entries
+    raise ValueError(f"unknown bench scale {scale!r} (quick/full)")
+
+
+def entry_by_name(name: str, scale: str = "full") -> BenchEntry:
+    """Look up one entry (used by tests and ``--entry``)."""
+    for entry in bench_entries(scale):
+        if entry.name == name:
+            return entry
+    known = ", ".join(e.name for e in bench_entries(scale))
+    raise KeyError(f"unknown bench entry {name!r} (known: {known})")

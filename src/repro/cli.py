@@ -131,6 +131,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit machine-readable JSON instead of tables",
     )
     add_runner_options(run)
+
+    bench = sub.add_parser(
+        "bench",
+        help=(
+            "run the pinned kernel benchmark suite, write BENCH_<rev>.json "
+            "and compare against the last committed baseline"
+        ),
+    )
+    scale_group = bench.add_mutually_exclusive_group()
+    scale_group.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the quick suite (the default, and what CI gates on)",
+    )
+    scale_group.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full suite (adds irqbalance/NAPI/write entries)",
+    )
+    bench.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_<rev>.json (default: current directory)",
+    )
+    bench.add_argument(
+        "--rev",
+        default=None,
+        metavar="NAME",
+        help="revision label for the output file (default: git short sha)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline BENCH_*.json to compare against (default: the most "
+            "recent other BENCH_*.json in --out)"
+        ),
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help="fail if total wall time regresses more than PCT%% (default: 30)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each entry and dump the top functions",
+    )
+    bench.add_argument(
+        "--profile-top",
+        type=positive_int,
+        default=15,
+        metavar="N",
+        help="rows per cProfile dump (default: 15)",
+    )
     return parser
 
 
@@ -198,6 +257,19 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         for exp_id in all_experiment_ids():
             print(exp_id)
         return 0
+
+    if args.command == "bench":
+        from .bench import run_bench
+
+        return run_bench(
+            "full" if args.full else "quick",
+            out_dir=args.out,
+            rev=args.rev,
+            baseline=args.baseline,
+            threshold=args.threshold / 100.0,
+            profile=args.profile,
+            profile_top=args.profile_top,
+        )
 
     if args.command == "summary":
         from .metrics.report import render_table

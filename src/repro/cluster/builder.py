@@ -11,6 +11,7 @@ from ..core.sais import HintCapsuler
 from ..des import Environment
 from ..errors import ConfigError
 from ..faults.injector import FaultInjector
+from ..net.fastpath import WireFastPath, fast_wire_enabled
 from ..net.links import Link
 from ..net.packet import Packet
 from ..net.switch import Switch
@@ -107,6 +108,14 @@ def build_cluster(config: ClusterConfig) -> Cluster:
 
     sais_enabled = clients[0].policy.requires_hints
 
+    # Coalesced wire fast path: exact analytic pipeline, only sound on a
+    # healthy fabric (no loss/middlebox/straggler machinery in the way).
+    # REPRO_NO_WIRE_FASTPATH=1 forces the resource-based slow path for A/B
+    # equivalence testing.
+    fastpath: WireFastPath | None = None
+    if injector is None and fast_wire_enabled():
+        fastpath = WireFastPath(env, switch, clients)
+
     def deliver_to_client(packet: Packet) -> t.Any:
         return clients[packet.dst_client].nic.receive(packet)
 
@@ -140,6 +149,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                 tracer=tracer,
                 mss=net.mss,
                 faults=injector,
+                fastpath=fastpath,
             )
         )
 
@@ -167,13 +177,27 @@ def build_cluster(config: ClusterConfig) -> Cluster:
         def submit(request: StripRequest) -> None:
             server = servers[request.server]
 
-            def _route_read() -> t.Generator:
+            if not request.is_write:
                 # Request message: one fabric traversal of latency; its
                 # few hundred bytes of serialization are negligible next
                 # to the data path and are folded into the latency.
-                if net.latency > 0:
-                    yield env.timeout(net.latency)
-                yield from server.serve(request)
+                env.process(
+                    server.serve(request),
+                    quiet=True,
+                    start_delay=net.latency,
+                )
+                return
+
+            if fastpath is not None:
+                env.process(
+                    fastpath.transmit_to_server(
+                        uplink,
+                        request.size,
+                        lambda: server.serve_write(request),
+                    ),
+                    quiet=True,
+                )
+                return
 
             def _route_write() -> t.Generator:
                 # The data strip serializes out the client NIC, crosses
@@ -193,7 +217,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                     ),
                 )
 
-            env.process(_route_write() if request.is_write else _route_read())
+            env.process(_route_write(), quiet=True)
 
         return submit
 

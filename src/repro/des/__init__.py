@@ -19,7 +19,7 @@ seeds yield identical traces.
 """
 
 from .environment import Environment
-from .events import AllOf, AnyOf, Event, Timeout
+from .events import AllOf, AnyOf, Callback, Event, Timeout
 from .process import Interrupt, Process
 from .resources import (
     Barrier,
@@ -35,6 +35,7 @@ __all__ = [
     "Environment",
     "Event",
     "Timeout",
+    "Callback",
     "AllOf",
     "AnyOf",
     "Process",

@@ -7,7 +7,7 @@ from heapq import heappop, heappush
 from itertools import count
 
 from ..errors import SimulationError
-from .events import NORMAL, Event, Timeout
+from .events import NORMAL, Callback, Event, Timeout, _invoke_callback
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .process import Process
@@ -15,6 +15,11 @@ if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["Environment"]
 
 _GeneratorT = t.Generator[Event, t.Any, t.Any]
+
+#: Upper bound on recycled :class:`~repro.des.events.Callback` events kept
+#: per environment.  Past this the free list stops growing; overflow events
+#: are simply garbage-collected.
+_CB_POOL_LIMIT = 256
 
 
 class _EmptyCalendar(Exception):
@@ -44,6 +49,12 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self.active_process: "Process | None" = None
+        #: Events popped off the calendar and dispatched so far.  This is
+        #: the DES cost metric the bench subsystem records: wall time per
+        #: run is dominated by event count times constant factor.
+        self.events_processed = 0
+        # Free list of recycled Callback events (see :meth:`call_at`).
+        self._cb_pool: list[Callback] = []
 
     # -- clock ------------------------------------------------------------
 
@@ -62,17 +73,58 @@ class Environment:
         """Create an event firing ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: _GeneratorT) -> "Process":
-        """Start ``generator`` as a new simulation process."""
+    def process(
+        self,
+        generator: _GeneratorT,
+        *,
+        quiet: bool = False,
+        start_delay: float = 0.0,
+    ) -> "Process":
+        """Start ``generator`` as a new simulation process.
+
+        ``quiet`` marks an internal process nobody awaits: if it finishes
+        successfully with no subscribed callbacks, its completion is
+        recorded in place instead of via a calendar event (failures still
+        schedule, so an unawaited crash stops the world as always).
+
+        ``start_delay`` defers the generator's first resumption by that
+        much virtual time — equivalent to an immediate process whose body
+        starts with ``yield env.timeout(start_delay)``, minus one event.
+        """
         from .process import Process
 
-        return Process(self, generator)
+        return Process(self, generator, quiet=quiet, start_delay=start_delay)
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
         """Put a triggered event on the calendar ``delay`` from now."""
+        if event.callbacks is None:
+            raise SimulationError(
+                f"cannot schedule {event!r}: it has already been processed"
+            )
         heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def call_at(self, when: float, fn: t.Callable[[t.Any], None], arg: t.Any = None) -> None:
+        """Run ``fn(arg)`` at absolute virtual time ``when``.
+
+        Internal fast path for model code that needs a plain deferred call
+        with no waiters: the carrying :class:`~repro.des.events.Callback`
+        events come from (and return to) a per-environment free list, so
+        steady-state scheduling allocates nothing.  Callers must not hold
+        references to the underlying event — there is deliberately no way
+        to get one.
+        """
+        pool = self._cb_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = [_invoke_callback]
+            ev._defused = False
+        else:
+            ev = Callback(self)
+        ev.fn = fn
+        ev.arg = arg
+        heappush(self._queue, (when, NORMAL, next(self._eid), ev))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -85,8 +137,11 @@ class Environment:
         except IndexError:
             raise _EmptyCalendar() from None
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        assert callbacks is not None, "event processed twice"
+        callbacks = event.callbacks
+        if callbacks is None:
+            raise SimulationError(f"{event!r} processed twice")
+        event.callbacks = None
+        self.events_processed += 1
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -94,6 +149,8 @@ class Environment:
             # models cannot silently vanish.
             exc = event._value
             raise exc
+        if event.__class__ is Callback and len(self._cb_pool) < _CB_POOL_LIMIT:
+            self._cb_pool.append(event)
 
     def run(self, until: float | Event | None = None) -> t.Any:
         """Run the simulation.
@@ -104,44 +161,64 @@ class Environment:
             ``None``
                 run until the calendar is empty;
             a number
-                run until that virtual time (the clock lands exactly on it);
+                run until that virtual time (the clock lands exactly on
+                it).  Events scheduled *at* the horizon — including ones
+                scheduled by callbacks of the final step — still run
+                before the clock is pinned;
             an :class:`Event`
                 run until that event is processed and return its value.
         """
-        if until is None:
-            try:
-                while True:
-                    self.step()
-            except _EmptyCalendar:
-                return None
-
-        if isinstance(until, Event):
-            stop = until
-            if stop.callbacks is None:  # already processed
-                return stop._value
-            flag: list[bool] = []
-            stop.callbacks.append(lambda _ev: flag.append(True))
-            try:
-                while not flag:
-                    self.step()
-            except _EmptyCalendar:
-                raise SimulationError(
-                    "simulation ended before the awaited event fired"
-                ) from None
-            if not stop._ok:
-                stop.defuse()
-                raise stop._value
-            return stop._value
+        if until is None or isinstance(until, Event):
+            return self._run_loop(until)
 
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError(
                 f"cannot run until {horizon} which is before now={self._now}"
             )
-        try:
-            while self._queue and self._queue[0][0] <= horizon:
-                self.step()
-        except _EmptyCalendar:  # pragma: no cover - guarded by loop condition
-            pass
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
         self._now = horizon
         return None
+
+    def _run_loop(self, until: Event | None) -> t.Any:
+        """Hot loop for ``run(None)`` / ``run(Event)``: :meth:`step` inlined
+        with the heap operation and counters bound to locals.  Every
+        simulation spends nearly all of its wall time here."""
+        stop = until
+        flag: list[bool] = []
+        if stop is not None:
+            if stop.callbacks is None:  # already processed
+                return stop._value
+            stop.callbacks.append(flag.append)
+        queue = self._queue
+        pop = heappop
+        pool = self._cb_pool
+        dispatched = 0
+        try:
+            while queue and not flag:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                dispatched += 1
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if event.__class__ is Callback and len(pool) < _CB_POOL_LIMIT:
+                    pool.append(event)
+        finally:
+            self.events_processed += dispatched
+        if stop is None:
+            return None
+        if not flag:
+            raise SimulationError(
+                "simulation ended before the awaited event fired"
+            )
+        if not stop._ok:
+            stop.defuse()
+            raise stop._value
+        return stop._value

@@ -9,13 +9,22 @@ callbacks.  Processes wait on events by ``yield``-ing them.
 from __future__ import annotations
 
 import typing as t
+from heapq import heappush
 
 from ..errors import SimulationError
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .environment import Environment
 
-__all__ = ["Event", "Timeout", "ConditionEvent", "AllOf", "AnyOf", "PENDING"]
+__all__ = [
+    "Event",
+    "Timeout",
+    "Callback",
+    "ConditionEvent",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+]
 
 #: Sentinel for "this event has no value yet".
 PENDING: t.Any = object()
@@ -125,11 +134,47 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: t.Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Fast construct: a Timeout is born triggered, so the generic
+        # Event init + succeed + Environment.schedule round-trip is pure
+        # overhead on the kernel's hottest allocation path.  Inline all
+        # three (the scheduling tuple must match Environment.schedule's
+        # exactly: (time, priority, insertion id, event)).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(
+            env._queue, (env._now + delay, NORMAL, next(env._eid), self)
+        )
+
+
+def _invoke_callback(event: "Callback") -> None:
+    """The single callback every :class:`Callback` event carries."""
+    event.fn(event.arg)
+
+
+class Callback(Event):
+    """Internal event that runs ``fn(arg)`` when processed.
+
+    Created and recycled exclusively by
+    :meth:`~repro.des.environment.Environment.call_at`: the environment
+    keeps finished instances on a free list and re-arms them, so the
+    steady state allocates no event objects at all.  Never exposed to
+    model code — nothing may wait on one or keep a reference.
+    """
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks = [_invoke_callback]
+        self._value = None
+        self._ok = True
+        self._defused = False
+        self.fn: t.Callable[[t.Any], None] | None = None
+        self.arg: t.Any = None
 
 
 class ConditionEvent(Event):

@@ -12,7 +12,7 @@ from __future__ import annotations
 import typing as t
 
 from ..errors import SimulationError
-from .events import PENDING, URGENT, Event
+from .events import NORMAL, PENDING, URGENT, Event
 
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .environment import Environment
@@ -37,21 +37,38 @@ class Process(Event):
     with that exception, which propagates to waiters or stops the run.
     """
 
-    __slots__ = ("_generator", "_target")
+    __slots__ = ("_generator", "_target", "_quiet")
 
-    def __init__(self, env: "Environment", generator: t.Generator) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        generator: t.Generator,
+        *,
+        quiet: bool = False,
+        start_delay: float = 0.0,
+    ) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         #: The event this process currently waits on (None while running).
         self._target: Event | None = None
+        #: Internal fire-and-forget process: a successful finish with no
+        #: subscribed callbacks completes in place, skipping the calendar.
+        self._quiet = quiet
         # Kick the generator off via an immediately-scheduled init event.
+        # An immediate start is URGENT (spawned work begins ahead of other
+        # same-time NORMAL events, as it always has); a *delayed* start is
+        # NORMAL so it is ordered exactly like the `yield env.timeout(d)`
+        # first line it replaces.
         init = Event(env)
         init._ok = True
         init._value = None
         init.callbacks.append(self._resume)
-        env.schedule(init, priority=URGENT)
+        if start_delay > 0.0:
+            env.schedule(init, priority=NORMAL, delay=start_delay)
+        else:
+            env.schedule(init, priority=URGENT)
 
     @property
     def is_alive(self) -> bool:
@@ -80,6 +97,11 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
         env = self.env
+        # Save/restore rather than reset: an inline wake-up (see
+        # Store.inline_wakeup) can resume one process from inside
+        # another's callback, and the outer process must still be the
+        # active one when control returns to it.
+        previous = env.active_process
         env.active_process = self
         self._target = None
         while True:
@@ -93,7 +115,15 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
-                env.schedule(self)
+                if self._quiet and not self.callbacks:
+                    # Nobody subscribed to a fire-and-forget process: its
+                    # completion event would run zero callbacks, so record
+                    # the completion in place.  (`processed` flips a
+                    # micro-tick early at the same timestamp — observable
+                    # only by polling, which nothing internal does.)
+                    self.callbacks = None
+                else:
+                    env.schedule(self)
                 break
             except BaseException as exc:  # noqa: BLE001 - process death path
                 self._ok = False
@@ -123,7 +153,7 @@ class Process(Event):
                 break
             # Already processed: consume its value immediately.
             event = next_target
-        env.active_process = None
+        env.active_process = previous
 
 
 class _Interruption(Event):

@@ -89,13 +89,29 @@ class Request(Event):
 
 
 class Resource:
-    """A FIFO-queued resource with ``capacity`` identical slots."""
+    """A FIFO-queued resource with ``capacity`` identical slots.
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+    ``inline_grant=True`` grants requests that find a free slot
+    *synchronously*: the request is born already processed, so the
+    requester's ``yield req`` continues in the same calendar event instead
+    of paying a same-time grant event.  The requester's continuation then
+    runs before other already-queued same-time events rather than after
+    them, which is observable — opt in only where that reordering is
+    acceptable (CPU core slots, whose goldens pin the behaviour).
+    Contended grants (at release time) always go through the calendar.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        inline_grant: bool = False,
+    ) -> None:
         if capacity < 1:
             raise SimulationError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
+        self.inline_grant = inline_grant
         self.users: list[Request] = []
         self._waiting: deque[Request] = deque()
         self._seq = count()
@@ -128,7 +144,17 @@ class Resource:
 
     def _do_request(self, request: Request) -> None:
         if len(self.users) < self.capacity:
-            self._grant(request)
+            if self.inline_grant:
+                # The request was constructed this instant, so nothing can
+                # have subscribed to it yet: complete it in place and let
+                # the requester's ``yield req`` fall straight through.
+                self.users.append(request)
+                request.granted_at = self.env.now
+                request._ok = True
+                request._value = None
+                request.callbacks = None
+            else:
+                self._grant(request)
         else:
             self._enqueue(request)
 
@@ -163,8 +189,13 @@ class PriorityResource(Resource):
     run ahead of queued application work (priority 10).
     """
 
-    def __init__(self, env: "Environment", capacity: int = 1) -> None:
-        super().__init__(env, capacity)
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: int = 1,
+        inline_grant: bool = False,
+    ) -> None:
+        super().__init__(env, capacity, inline_grant)
         self._heap: list[tuple[tuple[int, float, int], Request]] = []
 
     def _enqueue(self, request: Request) -> None:
@@ -232,11 +263,23 @@ class Store:
     with the next item.
     """
 
-    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        inline_wakeup: bool = False,
+    ) -> None:
         if capacity <= 0:
             raise SimulationError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
+        #: :meth:`put_nowait` into a waiting getter delivers the item by
+        #: running the getter's callbacks *synchronously* instead of via a
+        #: same-time calendar event.  The consumer's continuation then runs
+        #: inside the producer's event, ahead of other already-queued
+        #: same-time events — observable, so opt in only where that
+        #: ordering is acceptable (the softirq queues, pinned by goldens).
+        self.inline_wakeup = inline_wakeup
         self.items: deque[t.Any] = deque()
         self._getters: deque[Event] = deque()
         self._putters: deque[tuple[Event, t.Any]] = deque()
@@ -247,6 +290,36 @@ class Store:
         self._putters.append((event, item))
         self._dispatch()
         return event
+
+    def put_nowait(self, item: t.Any) -> None:
+        """Store ``item`` immediately with no acknowledgement event.
+
+        For producers that never await the put (IRQ-style enqueues): on an
+        unbounded store — or one with free space and no queued putters —
+        the acknowledgement event of :meth:`put` fires instantly and runs
+        zero callbacks, so skipping it is unobservable and saves one
+        calendar event per item.  A full store (or one with waiting
+        putters, to keep FIFO put order) falls back to the event-based
+        path with the acknowledgement discarded.
+        """
+        if self._putters or len(self.items) >= self.capacity:
+            self.put(item)
+            return
+        self.items.append(item)
+        if not self._getters:
+            return
+        if not self.inline_wakeup:
+            self._dispatch()
+            return
+        # Synchronous hand-off: complete the oldest get in place and run
+        # its subscribers now, saving the same-time wake-up event.
+        event = self._getters.popleft()
+        event._ok = True
+        event._value = self.items.popleft()
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
 
     def get(self) -> Event:
         """The returned event fires with the oldest available item."""

@@ -25,7 +25,7 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["InterruptContext", "LocalApic", "IoApic"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class InterruptContext:
     """Everything the interrupt path knows when an interrupt is raised.
 

@@ -10,6 +10,7 @@ reports.
 
 from __future__ import annotations
 
+import math
 import typing as t
 from collections import defaultdict
 
@@ -44,7 +45,7 @@ class Core:
         self.env = env
         self.index = index
         self.clock_hz = clock_hz
-        self._slot = PriorityResource(env, capacity=1)
+        self._slot = PriorityResource(env, capacity=1, inline_grant=True)
         self._busy = IntervalAccumulator(env)
         #: Busy seconds per work category.
         self.busy_by_category: dict[str, float] = defaultdict(float)
@@ -144,8 +145,6 @@ class Core:
     def _note_load(self, busy: bool) -> None:
         """Fold the elapsed interval (at its previous busy state) into the
         EWMA, then record the new state."""
-        import math
-
         now = self.env.now
         dt = now - self._load_updated
         if dt > 0:

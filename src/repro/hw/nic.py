@@ -81,6 +81,9 @@ class Nic:
         self._pending: deque["Packet"] = deque()
         self._irq_armed = True
         self._wire = Resource(env, capacity=1)
+        #: Analytic next-free time of the bonded wire (fast path only; see
+        #: :mod:`repro.net.fastpath`).
+        self._wire_free = 0.0
         self.bytes_received = Counter("nic_rx_bytes")
         self.packets_received = Counter("nic_rx_packets")
         self.interrupts_raised = Counter("nic_interrupts")
@@ -98,6 +101,34 @@ class Nic:
         with self._wire.request() as req:
             yield req
             yield self.env.timeout(self.wire_time(packet.size))
+        self.complete_rx(packet)
+
+    def admit(self, nbytes: int, arrival: float) -> float:
+        """Reserve the wire analytically for a packet landing at ``arrival``.
+
+        Closed form of :meth:`receive`'s wire resource: the packet queues
+        behind the wire's drain time, serializes, and is fully received at
+        the returned instant.  ``arrival`` may be in the future (the fast
+        path reserves at upstream-departure time); this stays exact because
+        upstream departures are monotone, so reservation order equals
+        arrival order.  The caller schedules :meth:`complete_rx` at the
+        returned time.  Fast-path use only — never mix with
+        :meth:`receive` on the same instance.
+        """
+        start = self._wire_free
+        if start < arrival:
+            start = arrival
+        done = start + self.wire_time(nbytes)
+        self._wire_free = done
+        return done
+
+    def complete_rx(self, packet: "Packet") -> None:
+        """Post-wire receive half: counters, tracer, tripwire, interrupt.
+
+        Runs at the instant the packet is fully off the wire — from
+        :meth:`receive` directly, or via a fast-path callback scheduled at
+        the :meth:`admit` completion time.
+        """
         self.bytes_received.add(packet.size)
         self.packets_received.add()
         if self.tracer is not None:

@@ -92,7 +92,7 @@ class Link:
             if result is not None and hasattr(result, "send"):
                 yield from result
 
-        self.env.process(_arrive())
+        self.env.process(_arrive(), quiet=True)
 
     @property
     def busy_time(self) -> float:

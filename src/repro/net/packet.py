@@ -16,7 +16,7 @@ from ..errors import ProtocolError
 __all__ = ["Packet"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Packet:
     """One unit of data delivery from an I/O server to the client."""
 

@@ -39,8 +39,31 @@ class Switch:
         #: extra delivery delay (reordering).  None on a healthy fabric.
         self.middlebox = middlebox
         self._fabric = Resource(env, capacity=1)
+        #: Analytic next-free time of the backplane (fast path only; see
+        #: :mod:`repro.net.fastpath`).
+        self._fabric_free = 0.0
         self.bytes_switched = Counter("switch_bytes")
         self.packets_switched = Counter("switch_packets")
+
+    def relay(self, nbytes: int) -> float:
+        """Carry ``nbytes`` across the backplane analytically.
+
+        Closed form of :meth:`forward`'s resource + timeout: arriving now,
+        the packet queues behind the backplane's drain time, serializes,
+        and departs at the returned instant.  Counters are charged here —
+        the per-packet totals match :meth:`forward` at end of run (only
+        the charge *instant* differs; nothing samples them mid-run).
+        Fast-path use only, and only on a healthy fabric (no middlebox).
+        """
+        start = self._fabric_free
+        now = self.env.now
+        if start < now:
+            start = now
+        departure = start + nbytes / self.backplane_bandwidth
+        self._fabric_free = departure
+        self.bytes_switched.add(nbytes)
+        self.packets_switched.add()
+        return departure
 
     def forward(
         self,
@@ -69,4 +92,4 @@ class Switch:
             if result is not None and hasattr(result, "send"):
                 yield from result
 
-        self.env.process(_arrive())
+        self.env.process(_arrive(), quiet=True)

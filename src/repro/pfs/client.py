@@ -264,7 +264,7 @@ class PfsClient:
             raise SimulationError(
                 f"request {packet.request_id} received more strips than expected"
             )
-        outstanding.arrivals.put(
+        outstanding.arrivals.put_nowait(
             ArrivedStrip(
                 token=packet.strip_id, size=packet.size, handled_on=handled_on
             )

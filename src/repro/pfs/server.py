@@ -42,6 +42,7 @@ class IoServer:
         tracer: t.Any | None = None,
         mss: int | None = None,
         faults: t.Any | None = None,
+        fastpath: t.Any | None = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -58,6 +59,11 @@ class IoServer:
         #: Fault injector (straggler slowdown, transient-failure windows);
         #: None on a healthy cluster.
         self.faults = faults
+        #: Coalesced wire fast path (:class:`~repro.net.fastpath.WireFastPath`);
+        #: installed by the builder only on a fault-free fabric.  When set,
+        #: segment trains bypass ``uplink.transmit``/``deliver`` for the
+        #: analytic pipeline — byte-identical timing, ~5x fewer events.
+        self.fastpath = fastpath
         self._streams: dict[int, TcpStream] = {}
         self.disk = Disk(
             env, rate=config.disk_rate, seek=config.disk_seek, rng=rng
@@ -96,10 +102,16 @@ class IoServer:
         stream = self._streams.setdefault(
             request.client, TcpStream(self.index, request.client)
         )
-        for segment in stream.segments_for_strip(packet, self.mss):
-            # The IP option's copied flag (Fig. 4) replicates the hint
-            # onto every segment, so SrcParser works on any of them.
-            yield from self.uplink.transmit(segment, self._deliver)
+        if self.fastpath is not None:
+            for segment in stream.segments_for_strip(packet, self.mss):
+                # The IP option's copied flag (Fig. 4) replicates the hint
+                # onto every segment, so SrcParser works on any of them.
+                yield from self.fastpath.transmit_to_client(
+                    self.uplink, segment
+                )
+        else:
+            for segment in stream.segments_for_strip(packet, self.mss):
+                yield from self.uplink.transmit(segment, self._deliver)
 
     #: Size of a write acknowledgement message on the wire.
     ACK_SIZE = 1024
@@ -127,7 +139,7 @@ class IoServer:
         # Buffered write: memory-speed copy into the page cache.
         yield self.env.timeout(request.size / self.config.cache_rate)
         # Asynchronous flush to disk, off the client's critical path.
-        self.env.process(self.disk.write(request.size))
+        self.env.process(self.disk.write(request.size), quiet=True)
         ack = Packet(
             size=self.ACK_SIZE,
             src_server=self.index,
@@ -141,7 +153,10 @@ class IoServer:
             self.capsuler.encapsulate(ack, request.hint_aff_core_id)
         self.strips_served.add()
         self.bytes_served.add(request.size)
-        yield from self.uplink.transmit(ack, self._deliver)
+        if self.fastpath is not None:
+            yield from self.fastpath.transmit_to_client(self.uplink, ack)
+        else:
+            yield from self.uplink.transmit(ack, self._deliver)
 
     def _drop_if_offline(self) -> bool:
         """Transient-failure check: inside a window, requests vanish.
