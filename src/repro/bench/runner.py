@@ -38,6 +38,7 @@ from .suite import BenchEntry, bench_entries
 __all__ = [
     "BenchRecord",
     "run_entry",
+    "profile_entry_collapsed",
     "run_suite",
     "write_payload",
     "find_baseline",
@@ -90,7 +91,9 @@ def run_entry(
         started = time.perf_counter()
         metrics = sim.run()
         wall = time.perf_counter() - started
-    events = sim.cluster.env.events_processed
+    # Read through the MetricsRegistry rather than poking env directly —
+    # same number, but it keeps the registry on a tested hot path.
+    events = int(sim.cluster.metrics.read("des.events_processed"))
     record = BenchRecord(
         name=entry.name,
         title=entry.title,
@@ -101,6 +104,26 @@ def run_entry(
         bandwidth_mb_s=metrics.bandwidth / MiB,
     )
     return record, profile_text
+
+
+def profile_entry_collapsed(
+    entry: BenchEntry, interval: float = 0.002
+) -> list[str]:
+    """Re-run one entry under the stack sampler; collapsed-stack lines.
+
+    The output is Brendan Gregg's folded format (``frame;frame count``),
+    ready for ``flamegraph.pl`` or speedscope.  Wall-clock sampling is
+    inherently nondeterministic, so this runs *separately* from the timed
+    measurement — the recorded wall time never includes sampler overhead.
+    """
+    from ..cluster.simulation import Simulation
+    from ..obs.flamegraph import profile_collapsed
+
+    sim = Simulation(entry.config)
+    _metrics, lines = profile_collapsed(
+        sim.run, interval=interval, strip_prefix="repro."
+    )
+    return lines
 
 
 def current_rev() -> str:
@@ -131,9 +154,15 @@ def run_suite(
     rev: str | None = None,
     profile: bool = False,
     profile_top: int = 15,
+    flame_dir: Path | None = None,
     echo: t.Callable[[str], None] | None = None,
 ) -> dict[str, t.Any]:
-    """Run every entry of ``scale``'s suite; returns the payload dict."""
+    """Run every entry of ``scale``'s suite; returns the payload dict.
+
+    With ``profile`` set and a ``flame_dir``, each entry additionally gets
+    a collapsed-stack ``FLAME_<entry>.folded`` file written there (from a
+    separate sampled run, so the timed numbers stay clean).
+    """
     say = echo or (lambda _msg: None)
     records: list[BenchRecord] = []
     for entry in bench_entries(scale):
@@ -149,6 +178,14 @@ def run_suite(
         )
         if profile_text is not None:
             say(f"--- profile: {record.name} ---\n{profile_text}")
+        if profile and flame_dir is not None:
+            lines = profile_entry_collapsed(entry)
+            folded = flame_dir / f"FLAME_{record.name}.folded"
+            folded.write_text("\n".join(lines) + ("\n" if lines else ""))
+            say(
+                f"wrote {folded} ({len(lines)} stacks; feed to "
+                "flamegraph.pl or speedscope)"
+            )
     return {
         "schema": 1,
         "rev": rev or current_rev(),
@@ -263,6 +300,7 @@ def main(
         rev=rev,
         profile=profile,
         profile_top=profile_top,
+        flame_dir=out if profile else None,
         echo=lambda msg: echo(f"bench: {msg}"),
     )
     path = write_payload(payload, out)

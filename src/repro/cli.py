@@ -190,6 +190,62 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="rows per cProfile dump (default: 15)",
     )
+    bench.add_argument(
+        "--history",
+        action="store_true",
+        help=(
+            "print the committed BENCH_*.json trajectory (table + "
+            "sparklines) instead of running the suite"
+        ),
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "run one experiment point with causal span tracing and export "
+            "a Perfetto-loadable Chrome trace-event JSON"
+        ),
+    )
+    trace.add_argument(
+        "experiment",
+        help="experiment id or unique prefix (e.g. fig5_bandwidth)",
+    )
+    trace.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="quick",
+        help="run-length preset (default: quick)",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write Chrome trace-event JSON here (omit for the ASCII "
+            "timeline)"
+        ),
+    )
+    trace.add_argument(
+        "--point",
+        type=int,
+        default=0,
+        metavar="N",
+        help="grid point index within the experiment (default: 0)",
+    )
+    trace.add_argument(
+        "--policy",
+        default="irqbalance",
+        metavar="NAME",
+        help=(
+            "interrupt policy for the traced run (default: irqbalance — "
+            "source_aware traces contain no migration edges by design)"
+        ),
+    )
+    trace.add_argument(
+        "--timeline",
+        action="store_true",
+        help="also print the ASCII timeline when writing --out",
+    )
     return parser
 
 
@@ -258,7 +314,27 @@ def main(argv: t.Sequence[str] | None = None) -> int:
             print(exp_id)
         return 0
 
+    if args.command == "trace":
+        from .obs.trace_cli import run_trace
+
+        try:
+            return run_trace(
+                args.experiment,
+                scale=args.scale,
+                out=args.out,
+                point=args.point,
+                policy=args.policy,
+                timeline=args.timeline,
+            )
+        except ConfigError as exc:
+            print(f"sais-repro: {exc}", file=sys.stderr)
+            return 2
+
     if args.command == "bench":
+        if args.history:
+            from .bench.history import main as history_main
+
+            return history_main(args.out)
         from .bench import run_bench
 
         return run_bench(

@@ -15,6 +15,7 @@ from ..net.fastpath import WireFastPath, fast_wire_enabled
 from ..net.links import Link
 from ..net.packet import Packet
 from ..net.switch import Switch
+from ..obs.registry import MetricsRegistry
 from ..pfs.layout import StripeLayout
 from ..pfs.metadata import MetadataServer
 from ..pfs.request import StripRequest
@@ -22,6 +23,9 @@ from ..metrics.trace import Tracer
 from ..pfs.server import IoServer
 from ..rng import RngFactory
 from .client_node import ClientNode
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.spans import SpanRecorder
 
 __all__ = ["Cluster", "build_cluster"]
 
@@ -45,9 +49,18 @@ class Cluster:
     injector: FaultInjector | None = None
     #: Client transmit links (write path); kept for retransmit accounting.
     client_uplinks: list[Link] = dataclasses.field(default_factory=list)
+    #: Causal span recorder (repro.obs); None unless the caller asked for
+    #: tracing — the zero-cost-off guarantee hinges on this being None.
+    spans: "SpanRecorder | None" = None
+    #: Unified metrics registry over every component's instruments.
+    #: Always built (registration is O(#instruments) dict inserts at
+    #: build time; sources are read lazily at snapshot time).
+    metrics: MetricsRegistry = dataclasses.field(default_factory=MetricsRegistry)
 
 
-def build_cluster(config: ClusterConfig) -> Cluster:
+def build_cluster(
+    config: ClusterConfig, spans: "SpanRecorder | None" = None
+) -> Cluster:
     """Build every component of one experiment point and wire the paths.
 
     Data path: ``IoServer.serve`` -> server uplink ``Link`` ->
@@ -62,6 +75,14 @@ def build_cluster(config: ClusterConfig) -> Cluster:
     rngs = RngFactory(config.seed)
     layout = StripeLayout(config.strip_size, config.n_servers)
     net = config.network
+
+    fabric_track = None
+    if spans is not None:
+        from ..obs.spans import FABRIC_PID, SERVE_TID, Track, server_pid
+
+        spans.env = env
+        fabric_track = Track(FABRIC_PID, 0)
+        spans.label_track(fabric_track, "switch", "backplane")
 
     # A null plan (every probability zero, no stragglers) builds exactly
     # the fault-free cluster: no injector, no watchdogs, no middlebox.
@@ -80,6 +101,8 @@ def build_cluster(config: ClusterConfig) -> Cluster:
         backplane_bandwidth=net.switch_bandwidth,
         latency=net.latency,
         middlebox=injector.middlebox if injector is not None else None,
+        spans=spans,
+        obs_track=fabric_track,
     )
     metadata = MetadataServer(env)
     tracer = Tracer() if config.trace else None
@@ -103,6 +126,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                 layout,
                 tracer=tracer,
                 faults=injector,
+                spans=spans,
             )
         )
 
@@ -114,7 +138,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
     # equivalence testing.
     fastpath: WireFastPath | None = None
     if injector is None and fast_wire_enabled():
-        fastpath = WireFastPath(env, switch, clients)
+        fastpath = WireFastPath(env, switch, clients, spans=spans)
 
     def deliver_to_client(packet: Packet) -> t.Any:
         return clients[packet.dst_client].nic.receive(packet)
@@ -124,6 +148,10 @@ def build_cluster(config: ClusterConfig) -> Cluster:
 
     servers: list[IoServer] = []
     for server_index in range(config.n_servers):
+        server_track = None
+        if spans is not None:
+            server_track = Track(server_pid(server_index), SERVE_TID)
+            spans.label_track(server_track, f"server{server_index}", "serve")
         uplink_name = f"server{server_index}_uplink"
         uplink = Link(
             env,
@@ -150,6 +178,8 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                 mss=net.mss,
                 faults=injector,
                 fastpath=fastpath,
+                spans=spans,
+                obs_track=server_track,
             )
         )
 
@@ -194,6 +224,7 @@ def build_cluster(config: ClusterConfig) -> Cluster:
                         uplink,
                         request.size,
                         lambda: server.serve_write(request),
+                        request,
                     ),
                     quiet=True,
                 )
@@ -224,6 +255,38 @@ def build_cluster(config: ClusterConfig) -> Cluster:
     for client in clients:
         client.connect(make_submit(client.index))
 
+    metrics = MetricsRegistry()
+    metrics.register_probe(
+        "des.events_processed",
+        lambda: float(env.events_processed),
+        kind="counter",
+    )
+    metrics.register_counter("switch.bytes", switch.bytes_switched)
+    metrics.register_counter("switch.packets", switch.packets_switched)
+    for server in servers:
+        prefix = f"server{server.index}"
+        metrics.register_counter(f"{prefix}.strips_served", server.strips_served)
+        metrics.register_counter(f"{prefix}.bytes_served", server.bytes_served)
+        metrics.register_counter(f"{prefix}.cache_hits", server.cache_hits)
+    for client in clients:
+        client.register_metrics(metrics)
+    if injector is not None:
+        metrics.register_counter(
+            "faults.packets_dropped", injector.packets_dropped
+        )
+        metrics.register_counter(
+            "faults.options_stripped", injector.options_stripped
+        )
+        metrics.register_counter(
+            "faults.options_corrupted", injector.options_corrupted
+        )
+        metrics.register_counter(
+            "faults.packets_delayed", injector.packets_delayed
+        )
+        metrics.register_counter(
+            "faults.requests_dropped", injector.requests_dropped
+        )
+
     return Cluster(
         env=env,
         config=config,
@@ -236,4 +299,6 @@ def build_cluster(config: ClusterConfig) -> Cluster:
         tracer=tracer,
         injector=injector,
         client_uplinks=client_uplinks,
+        spans=spans,
+        metrics=metrics,
     )

@@ -51,6 +51,7 @@ class ClientNode:
         layout: StripeLayout,
         tracer: t.Any | None = None,
         faults: "FaultInjector | None" = None,
+        spans: t.Any | None = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -61,6 +62,35 @@ class ClientNode:
         self.costs = costs
         #: Optional per-strip lifecycle tracer (repro.metrics.trace).
         self.tracer = tracer
+        #: Optional causal span recorder (repro.obs); None = zero cost.
+        self.spans = spans
+        pfs_track = nic_track = apic_track = bus_track = None
+        core_tracks: list[t.Any] = [None] * client_cfg.n_cores
+        if spans is not None:
+            from ..obs.spans import (
+                APIC_TID,
+                BUS_TID,
+                NIC_TID,
+                PFS_TID,
+                Track,
+                client_pid,
+            )
+
+            pid = client_pid(index)
+            name = f"client{index}"
+            pfs_track = Track(pid, PFS_TID)
+            nic_track = Track(pid, NIC_TID)
+            apic_track = Track(pid, APIC_TID)
+            bus_track = Track(pid, BUS_TID)
+            core_tracks = [Track(pid, i) for i in range(client_cfg.n_cores)]
+            for i, track in enumerate(core_tracks):
+                spans.label_track(track, name, f"core{i}")
+            spans.label_track(pfs_track, name, "pfs")
+            spans.label_track(nic_track, name, "nic-wire")
+            spans.label_track(apic_track, name, "apic")
+            spans.label_track(bus_track, name, "interconnect")
+        self._core_tracks = core_tracks
+        self._bus_track = bus_track
 
         self.cores = [
             Core(env, i, client_cfg.clock_hz) for i in range(client_cfg.n_cores)
@@ -87,7 +117,9 @@ class ClientNode:
         )
         self.im_composer = IMComposer() if sais else None
 
-        self.ioapic = IoApic(env, self.cores, policy)
+        self.ioapic = IoApic(
+            env, self.cores, policy, spans=spans, obs_track=apic_track
+        )
         self.nic = Nic(
             env,
             bandwidth=client_cfg.nic_bandwidth,
@@ -98,6 +130,8 @@ class ClientNode:
             tracer=tracer,
             napi=client_cfg.napi,
             napi_budget=client_cfg.napi_budget,
+            spans=spans,
+            obs_track=nic_track,
         )
 
         # Late-bound by the cluster builder once the servers exist.
@@ -110,6 +144,8 @@ class ClientNode:
             hint_messager=self.hint_messager,
             tracer=tracer,
             retry=faults.plan.strip_retry_policy() if faults else None,
+            spans=spans,
+            obs_track=pfs_track,
         )
         # The NIC exists before the PFS client (the APIC chain builds
         # first), so the wire-order tripwire is attached here.
@@ -118,7 +154,15 @@ class ClientNode:
             policy.set_process_locator(self.pfs.locate_request)
 
         self.daemons = [
-            SoftirqDaemon(env, core, self.cache, costs, self.pfs)
+            SoftirqDaemon(
+                env,
+                core,
+                self.cache,
+                costs,
+                self.pfs,
+                spans=spans,
+                obs_track=core_tracks[core.index],
+            )
             for core in self.cores
         ]
         wire_interrupts(self.ioapic, self.daemons)
@@ -164,8 +208,22 @@ class ClientNode:
         * evicted to DRAM — a refetch over the shared memory bus.
         """
         core = self.cores[core_index]
+        spans = self.spans
+        merge_sid = None
+        merge_started = 0.0
+        transfer_span: tuple[str, float] | None = None
         with core.request(priority=APP_PRIORITY) as req:
             yield req
+            if spans is not None:
+                # Post-grant on the consumer core's serialized lane.
+                merge_started = self.env.now
+                merge_sid = spans.begin(
+                    "merge",
+                    "app",
+                    self._core_tracks[core_index],
+                    parent=spans.strip_span(self.index, strip.token),
+                    args={"strip": strip.token, "handled_on": strip.handled_on},
+                )
             location = self.cache.consume(core_index, strip.token)
             if location is Location.LOCAL:
                 yield from core.run_locked(
@@ -197,9 +255,46 @@ class ClientNode:
                     category = "memory_fetch"
                 with self.interconnect.acquire() as grant:
                     yield grant
+                    granted_at = self.env.now
                     yield from core.run_while(
                         self.interconnect.transfer_locked(strip.size, rate),
                         category,
+                    )
+                    if spans is not None:
+                        transfer_span = (category, granted_at)
+        if spans is not None:
+            strip_sid = spans.strip_span(self.index, strip.token)
+            if transfer_span is not None:
+                # The granted transfer on the serialized fill path — one
+                # "X" slice per migration/refetch on the bus lane.
+                category, granted_at = transfer_span
+                spans.add(
+                    category,
+                    "hw",
+                    self._bus_track,
+                    start=granted_at,
+                    end=self.env.now,
+                    parent=strip_sid,
+                    args={"strip": strip.token, "from": strip.handled_on},
+                )
+            spans.end(
+                merge_sid, args={"location": location.value}
+            )
+            if strip_sid is not None:
+                spans.end_if_open(strip_sid)
+            if location is Location.REMOTE:
+                handled = spans.handled_span(self.index, strip.token)
+                if handled is not None:
+                    # Migration edge: the handling core's softirq span ->
+                    # this consumer's merge span.
+                    src_sid, src_ts, _src_core = handled
+                    spans.flow(
+                        "migration",
+                        "migration",
+                        src_sid,
+                        src_ts,
+                        merge_sid,
+                        merge_started,
                     )
         if self.tracer is not None:
             self.tracer.record(self.index, strip.token, "merged", self.env.now)
@@ -230,3 +325,46 @@ class ClientNode:
     def total_busy_time(self) -> float:
         """Busy seconds summed over all cores."""
         return sum(core.busy_time for core in self.cores)
+
+    def register_metrics(self, registry: t.Any) -> None:
+        """Expose this node's instruments under ``client<i>.*``."""
+        prefix = f"client{self.index}"
+        for core in self.cores:
+            core.register_metrics(registry, f"{prefix}.core{core.index}")
+        self.interconnect.register_metrics(registry, f"{prefix}.interconnect")
+        registry.register_counter(
+            f"{prefix}.nic.bytes_received", self.nic.bytes_received
+        )
+        registry.register_counter(
+            f"{prefix}.nic.packets_received", self.nic.packets_received
+        )
+        registry.register_counter(
+            f"{prefix}.nic.interrupts_raised", self.nic.interrupts_raised
+        )
+        registry.register_counter(
+            f"{prefix}.ioapic.interrupts", self.ioapic.interrupts_raised
+        )
+        registry.register_counter(
+            f"{prefix}.pfs.requests_issued", self.pfs.requests_issued
+        )
+        registry.register_counter(
+            f"{prefix}.pfs.strips_requested", self.pfs.strips_requested
+        )
+        registry.register_counter(
+            f"{prefix}.pfs.bytes_requested", self.pfs.bytes_requested
+        )
+        registry.register_counter(
+            f"{prefix}.pfs.strip_retries", self.pfs.strip_retries
+        )
+        for daemon in self.daemons:
+            registry.register_counter(
+                f"{prefix}.softirq{daemon.core.index}.handled",
+                daemon.handled,
+                labels={"core": daemon.core.index},
+            )
+        registry.register_probe(
+            f"{prefix}.cache.miss_rate", self.cache.miss_rate
+        )
+        registry.register_counter(
+            f"{prefix}.cache.evictions", self.cache.evictions
+        )

@@ -31,9 +31,11 @@ __all__ = ["Simulation", "run_experiment", "compare_policies", "PolicyComparison
 class Simulation:
     """One experiment point: a cluster plus its IOR workload."""
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, spans: t.Any | None = None
+    ) -> None:
         self.config = config
-        self.cluster: Cluster = build_cluster(config)
+        self.cluster: Cluster = build_cluster(config, spans=spans)
         self._ran = False
 
     def run(self) -> RunMetrics:
@@ -76,6 +78,10 @@ class Simulation:
             if cluster.injector is not None
             else None
         )
+        if resilience is not None:
+            cluster.metrics.ingest_dataclass("resilience", resilience)
+        if cluster.spans is not None:
+            cluster.spans.close_open_spans()
         return RunMetrics(
             policy=self.config.policy,
             elapsed=elapsed,

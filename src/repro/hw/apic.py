@@ -48,6 +48,11 @@ class InterruptContext:
     #: process only ``packet``.  ``packet`` is the train head that
     #: triggered the interrupt (and what hint-based policies route by).
     napi_source: t.Any | None = None
+    #: Open observability flow id (the IRQ-placement edge from the NIC
+    #: wire span); the handling softirq terminates it.  None unless span
+    #: tracing is enabled (:mod:`repro.obs`).  Pure bookkeeping — never
+    #: consulted by any policy or timing decision.
+    obs_flow: int | None = None
 
 
 class LocalApic:
@@ -81,6 +86,8 @@ class IoApic:
         env: Environment,
         cores: t.Sequence["Core"],
         policy: "InterruptSchedulingPolicy",
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         if not cores:
             raise SimulationError("IoApic needs at least one core")
@@ -91,6 +98,9 @@ class IoApic:
         self.interrupts_raised = Counter("ioapic_interrupts")
         #: Per-destination-core delivery histogram (policy diagnostics).
         self.deliveries: list[int] = [0] * len(self.cores)
+        #: Span recorder + this client's APIC lane (repro.obs); None off.
+        self.spans = spans
+        self.obs_track = obs_track
         policy.bind(self)
 
     def raise_interrupt(self, ctx: InterruptContext) -> None:
@@ -102,4 +112,20 @@ class IoApic:
             )
         self.interrupts_raised.add()
         self.deliveries[core_index] += 1
+        if self.spans is not None:
+            packet = ctx.packet
+            self.spans.instant(
+                "irq",
+                "irq",
+                self.obs_track,
+                parent=self.spans.strip_span(
+                    packet.dst_client, packet.strip_id
+                ),
+                args={
+                    "core": core_index,
+                    "policy": self.policy.name,
+                    "aff_core_id": ctx.aff_core_id,
+                    "strip": packet.strip_id,
+                },
+            )
         self.local_apics[core_index].deliver(ctx)

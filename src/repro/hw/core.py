@@ -133,6 +133,21 @@ class Core:
         """Oprofile ``CPU_CLK_UNHALTED``: busy seconds x clock."""
         return self.busy_time * self.clock_hz
 
+    def register_metrics(self, registry: t.Any, prefix: str) -> None:
+        """Expose this core's accounting in a :class:`MetricsRegistry`."""
+        labels = {"core": self.index}
+        registry.register_probe(
+            f"{prefix}.busy_time", lambda: self.busy_time, labels=labels
+        )
+        registry.register_probe(
+            f"{prefix}.unhalted_cycles", self.unhalted_cycles, labels=labels
+        )
+        registry.register_probe(
+            f"{prefix}.run_queue",
+            lambda: float(self.run_queue_length),
+            labels=labels,
+        )
+
     def utilization(self, elapsed: float | None = None) -> float:
         """Busy fraction over ``elapsed`` (defaults to time since t=0)."""
         span = self.env.now if elapsed is None else elapsed

@@ -85,6 +85,18 @@ class InterconnectBus:
         """Seconds of pure transfer time carried so far (excludes waits)."""
         return self._busy_total
 
+    def register_metrics(self, registry: t.Any, prefix: str) -> None:
+        """Expose the bus instruments in a :class:`MetricsRegistry`."""
+        registry.register_counter(f"{prefix}.migrations", self.migrations)
+        registry.register_counter(f"{prefix}.bytes_moved", self.bytes_moved)
+        registry.register_counter(f"{prefix}.wait_time", self.wait_time)
+        registry.register_time_weighted(
+            f"{prefix}.queue_depth", self.queue_depth
+        )
+        registry.register_probe(
+            f"{prefix}.busy_time", lambda: self.total_busy_time
+        )
+
 
 class _TrackedRequest:
     """Context manager pairing a bus grant with queue-depth/wait tracking."""

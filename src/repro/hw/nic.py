@@ -51,6 +51,8 @@ class Nic:
         napi: bool = False,
         napi_budget: int = 64,
         rx_observer: t.Callable[["Packet"], None] | None = None,
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -80,6 +82,13 @@ class Nic:
         self.napi_budget = napi_budget
         self._pending: deque["Packet"] = deque()
         self._irq_armed = True
+        #: Span recorder + this client's NIC-wire lane (repro.obs);
+        #: None when tracing is off (the default — zero cost).
+        self.spans = spans
+        self.obs_track = obs_track
+        #: Wire span ids keyed (strip, segment), consumed when the
+        #: packet's interrupt is raised (the IRQ-placement flow source).
+        self._rx_spans: dict[tuple[int, int], int] = {}
         self._wire = Resource(env, capacity=1)
         #: Analytic next-free time of the bonded wire (fast path only; see
         #: :mod:`repro.net.fastpath`).
@@ -131,6 +140,22 @@ class Nic:
         """
         self.bytes_received.add(packet.size)
         self.packets_received.add()
+        if self.spans is not None:
+            # The span is reconstructed from the (deterministic) wire
+            # time, so the fast path's admit/call_at delivery and the
+            # slow path's resource grant record identical bounds.
+            now = self.env.now
+            self._rx_spans[(packet.strip_id, packet.segment)] = self.spans.add(
+                "wire",
+                "nic",
+                self.obs_track,
+                start=now - self.wire_time(packet.size),
+                end=now,
+                parent=self.spans.strip_span(
+                    packet.dst_client, packet.strip_id
+                ),
+                args={"strip": packet.strip_id, "segment": packet.segment},
+            )
         if self.tracer is not None:
             self.tracer.record(
                 packet.dst_client, packet.strip_id, "received", self.env.now
@@ -180,6 +205,16 @@ class Nic:
             )
         if napi:
             ctx.napi_source = self
+        if self.spans is not None:
+            wire_sid = self._rx_spans.pop(
+                (packet.strip_id, packet.segment), None
+            )
+            if wire_sid is not None:
+                # IRQ-placement edge: wire completion -> whichever core's
+                # softirq span ends up handling this interrupt.
+                ctx.obs_flow = self.spans.flow_begin(
+                    "irq-placement", "irq", wire_sid
+                )
         self.interrupts_raised.add()
         self.ioapic.raise_interrupt(ctx)
 

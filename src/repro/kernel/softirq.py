@@ -40,12 +40,17 @@ class SoftirqDaemon:
         cache: CacheSystem,
         costs: CostModel,
         pfs: "PfsClient",
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         self.env = env
         self.core = core
         self.cache = cache
         self.costs = costs
         self.pfs = pfs
+        #: Span recorder + this core's lane (repro.obs); None when off.
+        self.spans = spans
+        self.obs_track = obs_track
         self.queue: Store = Store(env, inline_wakeup=True)
         self.handled = Counter(f"softirq{core.index}_handled")
         self.bytes_handled = Counter(f"softirq{core.index}_bytes")
@@ -77,12 +82,13 @@ class SoftirqDaemon:
         if ctx.napi_source is None:
             with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
                 yield req
-                yield from self._process_packet(ctx.packet)
+                yield from self._process_packet(ctx.packet, ctx.obs_flow)
             return
         # NAPI poll: drain the NIC's pending queue on this core, up to
         # the poll budget, then either re-arm interrupts (drained) or
         # reschedule a fresh poll (budget exhausted under load).
         nic = ctx.napi_source
+        flow = ctx.obs_flow
         with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
             yield req
             budget = nic.napi_budget
@@ -90,12 +96,32 @@ class SoftirqDaemon:
                 packet = nic.napi_poll()
                 if packet is None:
                     return  # queue drained; interrupts re-armed
-                yield from self._process_packet(packet)
+                yield from self._process_packet(packet, flow)
+                flow = None  # the edge lands on the first polled packet
                 budget -= 1
         nic.napi_reschedule()
 
-    def _process_packet(self, packet) -> t.Generator:
-        """Protocol-process one packet while already holding the core."""
+    def _process_packet(self, packet, flow: int | None = None) -> t.Generator:
+        """Protocol-process one packet while already holding the core.
+
+        ``flow`` is the open IRQ-placement edge from the NIC (span
+        tracing only); it terminates at this packet's softirq span.
+        """
+        sid = None
+        if self.spans is not None:
+            # Post-grant on a unit-capacity core: softirq spans on this
+            # lane can never overlap, so a complete ("X") slice is safe.
+            sid = self.spans.begin(
+                "softirq",
+                "kernel",
+                self.obs_track,
+                parent=self.spans.strip_span(
+                    packet.dst_client, packet.strip_id
+                ),
+                args={"strip": packet.strip_id, "segment": packet.segment},
+            )
+            if flow is not None:
+                self.spans.flow_end(flow, sid)
         processing = self.costs.strip_processing_time(packet.size)
         yield from self.core.run_locked(processing, "softirq")
         if self._expect_hints and packet.carries_data and not packet.options:
@@ -124,3 +150,15 @@ class SoftirqDaemon:
                 )
         self.handled.add()
         self.bytes_handled.add(packet.size)
+        if sid is not None:
+            self.spans.end(sid)
+            if outstanding is not None and packet.carries_data:
+                # This span is where the strip's data now resides — the
+                # source of a migration edge if the consumer is elsewhere.
+                self.spans.note_handled(
+                    packet.dst_client,
+                    packet.strip_id,
+                    sid,
+                    self.env.now,
+                    self.core.index,
+                )

@@ -102,6 +102,33 @@ class SarSampler:
             max(s.per_core) - min(s.per_core) for s in self.samples
         )
 
+    def register_metrics(self, registry: t.Any, prefix: str = "sar") -> None:
+        """Expose the sampler's summaries in a :class:`MetricsRegistry`.
+
+        The probes are read at snapshot time and guard the empty case
+        (a snapshot taken before the first interval elapses reads 0.0
+        instead of tripping :meth:`_require_samples`).
+        """
+
+        def guarded(summary: t.Callable[[], float]) -> t.Callable[[], float]:
+            return lambda: summary() if self.samples else 0.0
+
+        registry.register_probe(
+            f"{prefix}.mean_utilization", guarded(self.mean_utilization)
+        )
+        registry.register_probe(
+            f"{prefix}.peak_utilization", guarded(self.peak_utilization)
+        )
+        registry.register_probe(
+            f"{prefix}.utilization_stdev", guarded(self.utilization_stdev)
+        )
+        registry.register_probe(
+            f"{prefix}.core_imbalance", guarded(self.core_imbalance)
+        )
+        registry.register_probe(
+            f"{prefix}.samples", lambda: float(len(self.samples)), kind="counter"
+        )
+
     def _require_samples(self) -> None:
         if not self.samples:
             raise SimulationError("no samples collected yet")

@@ -22,10 +22,15 @@ import typing as t
 
 from ..errors import SimulationError
 
-__all__ = ["Tracer", "StageDelta", "LatencyBreakdown", "STAGES"]
+__all__ = ["Tracer", "StageDelta", "LatencyBreakdown", "STAGES", "AUX_STAGES"]
 
 #: Pipeline stages in order.
 STAGES = ("issued", "served", "received", "handled", "merged")
+
+#: Out-of-pipeline events a strip may record any number of times (a strip
+#: can be retried repeatedly under a fault plan).  These never enter the
+#: stage-to-stage breakdown; they are kept as per-strip occurrence counts.
+AUX_STAGES = ("retried",)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,6 +43,10 @@ class StageDelta:
     mean: float
     p95: float
     maximum: float
+    #: Sample standard deviation; 0.0 when fewer than two samples exist
+    #: (``statistics.stdev`` raises on n < 2 — a single traced strip is a
+    #: legitimate quick-scale configuration, not an error).
+    stdev: float = 0.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,14 +76,38 @@ class Tracer:
         self._records: dict[tuple[int, int], dict[str, float]] = {}
         #: Free-form labels (e.g. the consume location) per strip.
         self.labels: dict[tuple[int, int], str] = {}
+        #: ``(client, token) -> {aux stage: occurrences}``.
+        self._aux: dict[tuple[int, int], dict[str, int]] = {}
 
     def record(
         self, client: int, token: int, stage: str, time: float
     ) -> None:
-        """Timestamp ``stage`` for strip ``token`` of ``client``."""
+        """Timestamp ``stage`` for strip ``token`` of ``client``.
+
+        Aux stages (:data:`AUX_STAGES`) are counted rather than
+        timestamped — a retried strip passes "retried" once per attempt,
+        and folding those into the pipeline records would corrupt the
+        stage-to-stage deltas.  Anything outside both sets still raises:
+        a typo'd stage name silently producing an empty breakdown is
+        worse than a crash.
+        """
+        if stage in AUX_STAGES:
+            counts = self._aux.setdefault((client, token), {})
+            counts[stage] = counts.get(stage, 0) + 1
+            return
         if stage not in STAGES:
             raise SimulationError(f"unknown trace stage {stage!r}")
         self._records.setdefault((client, token), {})[stage] = time
+
+    def aux_count(self, stage: str, client: int | None = None) -> int:
+        """Total occurrences of an aux stage (optionally for one client)."""
+        if stage not in AUX_STAGES:
+            raise SimulationError(f"unknown aux trace stage {stage!r}")
+        return sum(
+            counts.get(stage, 0)
+            for (owner, _token), counts in self._aux.items()
+            if client is None or owner == client
+        )
 
     def label(self, client: int, token: int, text: str) -> None:
         """Attach a label (e.g. 'remote') to a strip."""
@@ -116,6 +149,9 @@ class Tracer:
                     mean=statistics.fmean(values),
                     p95=values[min(len(values) - 1, int(0.95 * len(values)))],
                     maximum=values[-1],
+                    stdev=(
+                        statistics.stdev(values) if len(values) >= 2 else 0.0
+                    ),
                 )
             )
         return LatencyBreakdown(deltas=tuple(deltas), strips_traced=complete)

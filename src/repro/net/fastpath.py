@@ -79,10 +79,30 @@ class WireFastPath:
         env: Environment,
         switch: "Switch",
         clients: "t.Sequence[ClientNode]",
+        spans: t.Any | None = None,
     ) -> None:
         self.env = env
         self.switch = switch
         self._nics: list["Nic"] = [client.nic for client in clients]
+        #: Span recorder (repro.obs); None when tracing is off.  The NIC
+        #: wire span is recorded by ``complete_rx`` (identically on both
+        #: paths); only the fabric hop needs recording here, because the
+        #: analytic :meth:`Switch.relay` never sees packet identity.
+        self.spans = spans
+
+    def _record_fabric_span(
+        self, client: int, strip_id: int, segment: int, size: int, departure: float
+    ) -> None:
+        switch = self.switch
+        self.spans.add(
+            "switch",
+            "net",
+            switch.obs_track,
+            start=departure - size / switch.backplane_bandwidth,
+            end=departure,
+            parent=self.spans.strip_span(client, strip_id),
+            args={"strip": strip_id, "segment": segment},
+        )
 
     def transmit_to_client(
         self, link: "Link", packet: "Packet"
@@ -99,6 +119,14 @@ class WireFastPath:
         link.packets_sent.add()
         switch = self.switch
         fabric_departure = switch.relay(packet.size)
+        if self.spans is not None:
+            self._record_fabric_span(
+                packet.dst_client,
+                packet.strip_id,
+                packet.segment,
+                packet.size,
+                fabric_departure,
+            )
         nic = self._nics[packet.dst_client]
         done = nic.admit(packet.size, fabric_departure + switch.latency)
         env.call_at(done, nic.complete_rx, packet)
@@ -108,10 +136,13 @@ class WireFastPath:
         link: "Link",
         size: int,
         arrival: t.Callable[[], t.Generator],
+        request: t.Any | None = None,
     ) -> t.Generator:
         """Send one write strip client->server; ``arrival()`` builds the
         server-side generator (``serve_write``), spawned at the instant
-        the strip clears the switch port."""
+        the strip clears the switch port.  ``request`` (the originating
+        :class:`~repro.pfs.request.StripRequest`) is only consulted for
+        span attribution."""
         env = self.env
         with link._wire.request() as req:
             yield req
@@ -120,6 +151,14 @@ class WireFastPath:
         link.packets_sent.add()
         switch = self.switch
         fabric_departure = switch.relay(size)
+        if self.spans is not None and request is not None:
+            self._record_fabric_span(
+                request.client,
+                request.strip_id,
+                0,
+                size,
+                fabric_departure,
+            )
         env.process(
             arrival(),
             quiet=True,

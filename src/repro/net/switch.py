@@ -26,6 +26,8 @@ class Switch:
         backplane_bandwidth: float,
         latency: float = 0.0,
         middlebox: t.Callable[[Packet], tuple[Packet, float]] | None = None,
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         if backplane_bandwidth <= 0:
             raise ValueError(
@@ -42,6 +44,11 @@ class Switch:
         #: Analytic next-free time of the backplane (fast path only; see
         #: :mod:`repro.net.fastpath`).
         self._fabric_free = 0.0
+        #: Span recorder + the fabric's backplane lane (repro.obs); None
+        #: when tracing is off.  The fast path records its own spans
+        #: (:meth:`relay` has no packet identity).
+        self.spans = spans
+        self.obs_track = obs_track
         self.bytes_switched = Counter("switch_bytes")
         self.packets_switched = Counter("switch_packets")
 
@@ -77,9 +84,25 @@ class Switch:
         """
         with self._fabric.request() as req:
             yield req
+            granted = self.env.now
             yield self.env.timeout(packet.size / self.backplane_bandwidth)
         self.bytes_switched.add(packet.size)
         self.packets_switched.add()
+        if self.spans is not None:
+            # (grant, departure) equals the analytic path's
+            # (max(free, arrival), + service) by the fastpath-equivalence
+            # argument, so both wire paths export the same fabric span.
+            self.spans.add(
+                "switch",
+                "net",
+                self.obs_track,
+                start=granted,
+                end=self.env.now,
+                parent=self.spans.strip_span(
+                    packet.dst_client, packet.strip_id
+                ),
+                args={"strip": packet.strip_id, "segment": packet.segment},
+            )
         extra_delay = 0.0
         if self.middlebox is not None:
             packet, extra_delay = self.middlebox(packet)

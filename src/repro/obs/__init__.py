@@ -1,0 +1,55 @@
+"""Unified observability: causal span tracing + a metrics registry.
+
+Two complementary layers, both **zero-cost when disabled**:
+
+* :mod:`repro.obs.spans` — a causal span recorder threaded through the
+  whole simulated stack (client fan-out -> PFS server -> switch fabric ->
+  NIC wire -> APIC/IRQ -> softirq -> interconnect migration -> consumer
+  merge).  Every span carries a parent id, so one logical read
+  reconstructs as a tree; IRQ placement and cache-to-cache migrations are
+  recorded as flow edges.  Disabled (the default) means *no recorder
+  object exists at all*: every instrumentation site is a single
+  ``if spans is not None`` guard, no span is allocated, and no calendar
+  event is added or reordered — goldens and bench event counts stay
+  byte-identical (``tests/obs/test_zero_cost.py``).
+* :mod:`repro.obs.registry` — a :class:`MetricsRegistry` unifying the DES
+  monitor instruments (``Counter``/``TimeWeighted``), ``sar`` samples and
+  the fault/recovery counters behind one labeled snapshot, so experiments,
+  the bench runner and the trace exporter pull from a single source.
+
+Exports (:mod:`repro.obs.export`) target Chrome trace-event JSON —
+loadable in ui.perfetto.dev or chrome://tracing — plus an ASCII tree/
+timeline fallback.  ``python -m repro trace <experiment>`` drives it.
+
+Determinism: span/flow ids are small integers advanced in calendar
+(event-dispatch) order, and every timestamp is virtual time — wall clocks
+never enter a trace, so traces are byte-reproducible run-to-run.
+"""
+
+from .export import (
+    ascii_timeline,
+    to_trace_events,
+    validate_trace,
+    validate_trace_file,
+    write_trace,
+)
+from .flamegraph import StackSampler, collapse_stacks, profile_collapsed
+from .registry import MetricSample, MetricsRegistry
+from .spans import FlowEvent, Span, SpanRecorder, Track
+
+__all__ = [
+    "Span",
+    "FlowEvent",
+    "SpanRecorder",
+    "Track",
+    "MetricSample",
+    "MetricsRegistry",
+    "to_trace_events",
+    "write_trace",
+    "validate_trace",
+    "validate_trace_file",
+    "ascii_timeline",
+    "StackSampler",
+    "collapse_stacks",
+    "profile_collapsed",
+]

@@ -76,6 +76,8 @@ class PfsClient:
         hint_messager: HintMessager | None = None,
         tracer: t.Any | None = None,
         retry: "StripRetryPolicy | None" = None,
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         self.env = env
         self.client_index = client_index
@@ -90,6 +92,9 @@ class PfsClient:
         #: Retry knobs when a fault plan is active; None on a healthy
         #: fabric, where the client keeps its strict wiring tripwires.
         self.retry = retry
+        #: Span recorder + this client's PFS lane (repro.obs); None off.
+        self.spans = spans
+        self.obs_track = obs_track
         self._fault_tolerant = retry is not None
         self._request_ids = count()
         self._strip_tokens = count()
@@ -138,6 +143,23 @@ class PfsClient:
         self._outstanding[request.request_id] = outstanding
         self.requests_issued.add()
         self.bytes_requested.add(size)
+        spans = self.spans
+        if spans is not None:
+            request_sid = spans.begin(
+                "write" if write else "read",
+                "pfs",
+                self.obs_track,
+                overlapping=True,
+                args={
+                    "request": request.request_id,
+                    "size": size,
+                    "consumer_core": consumer_core,
+                    "strips": len(extents),
+                },
+            )
+            spans.request_begin(
+                self.client_index, request.request_id, request_sid
+            )
         for extent in extents:
             strip_request = StripRequest(
                 request_id=request.request_id,
@@ -157,6 +179,22 @@ class PfsClient:
                     strip_request.strip_id,
                     "issued",
                     self.env.now,
+                )
+            if spans is not None:
+                strip_sid = spans.begin(
+                    "strip",
+                    "pfs",
+                    self.obs_track,
+                    parent=request_sid,
+                    overlapping=True,
+                    args={
+                        "strip": strip_request.strip_id,
+                        "server": extent.server,
+                        "size": extent.size,
+                    },
+                )
+                spans.strip_begin(
+                    self.client_index, strip_request.strip_id, strip_sid
                 )
             self.strips_requested.add()
             self._submit(strip_request)
@@ -182,6 +220,16 @@ class PfsClient:
             if self.tracer is not None:
                 self.tracer.record(
                     self.client_index, request.strip_id, "retried", self.env.now
+                )
+            if self.spans is not None:
+                self.spans.instant(
+                    "retry",
+                    "pfs",
+                    self.obs_track,
+                    parent=self.spans.strip_span(
+                        self.client_index, request.strip_id
+                    ),
+                    args={"strip": request.strip_id, "attempt": _attempt + 1},
                 )
             self._submit(request)
             delay *= self.retry.backoff
@@ -269,6 +317,12 @@ class PfsClient:
                 token=packet.strip_id, size=packet.size, handled_on=handled_on
             )
         )
+        if self.spans is not None and not packet.carries_data:
+            # Write acks carry no consumable data: there is no merge, so
+            # the strip's lifecycle ends right here.
+            sid = self.spans.strip_span(self.client_index, packet.strip_id)
+            if sid is not None:
+                self.spans.end_if_open(sid)
         return outstanding
 
     def locate_request(self, request_id: int) -> int | None:
@@ -285,6 +339,10 @@ class PfsClient:
             raise SimulationError(
                 f"retiring request {request_id} with strips still in flight"
             )
+        if self.spans is not None:
+            sid = self.spans.request_span(self.client_index, request_id)
+            if sid is not None:
+                self.spans.end_if_open(sid)
 
     @property
     def in_flight(self) -> int:

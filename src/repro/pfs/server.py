@@ -43,6 +43,8 @@ class IoServer:
         mss: int | None = None,
         faults: t.Any | None = None,
         fastpath: t.Any | None = None,
+        spans: t.Any | None = None,
+        obs_track: t.Any | None = None,
     ) -> None:
         self.env = env
         self.index = index
@@ -64,6 +66,9 @@ class IoServer:
         #: segment trains bypass ``uplink.transmit``/``deliver`` for the
         #: analytic pipeline — byte-identical timing, ~5x fewer events.
         self.fastpath = fastpath
+        #: Span recorder + this server's serve lane (repro.obs); None off.
+        self.spans = spans
+        self.obs_track = obs_track
         self._streams: dict[int, TcpStream] = {}
         self.disk = Disk(
             env, rate=config.disk_rate, seek=config.disk_seek, rng=rng
@@ -80,9 +85,32 @@ class IoServer:
             )
         if self._drop_if_offline():
             return
+        sid = None
+        if self.spans is not None:
+            # Concurrent serves on one server legitimately overlap, so
+            # the lane uses async (b/e) rendering.
+            sid = self.spans.begin(
+                "serve",
+                "server",
+                self.obs_track,
+                parent=self.spans.strip_span(request.client, request.strip_id),
+                overlapping=True,
+                args={"strip": request.strip_id, "size": request.size},
+            )
         if self.config.service_overhead > 0:
             yield self.env.timeout(self.config.service_overhead)
+        fetch_started = self.env.now
         yield from self._storage_fetch(request.size, request.offset)
+        if sid is not None:
+            self.spans.add(
+                "storage",
+                "server",
+                self.obs_track,
+                start=fetch_started,
+                end=self.env.now,
+                parent=sid,
+                overlapping=True,
+            )
         packet = Packet(
             size=request.size,
             src_server=self.index,
@@ -112,6 +140,8 @@ class IoServer:
         else:
             for segment in stream.segments_for_strip(packet, self.mss):
                 yield from self.uplink.transmit(segment, self._deliver)
+        if sid is not None:
+            self.spans.end(sid)
 
     #: Size of a write acknowledgement message on the wire.
     ACK_SIZE = 1024
@@ -134,6 +164,16 @@ class IoServer:
             raise ValueError("serve_write called with a read strip request")
         if self._drop_if_offline():
             return
+        sid = None
+        if self.spans is not None:
+            sid = self.spans.begin(
+                "serve_write",
+                "server",
+                self.obs_track,
+                parent=self.spans.strip_span(request.client, request.strip_id),
+                overlapping=True,
+                args={"strip": request.strip_id, "size": request.size},
+            )
         if self.config.service_overhead > 0:
             yield self.env.timeout(self.config.service_overhead)
         # Buffered write: memory-speed copy into the page cache.
@@ -157,6 +197,8 @@ class IoServer:
             yield from self.fastpath.transmit_to_client(self.uplink, ack)
         else:
             yield from self.uplink.transmit(ack, self._deliver)
+        if sid is not None:
+            self.spans.end(sid)
 
     def _drop_if_offline(self) -> bool:
         """Transient-failure check: inside a window, requests vanish.

@@ -5,7 +5,8 @@ import pytest
 from repro import ClusterConfig, WorkloadConfig
 from repro.cluster.simulation import Simulation
 from repro.errors import SimulationError
-from repro.metrics.trace import STAGES, Tracer
+from repro.faults import FaultPlan
+from repro.metrics.trace import AUX_STAGES, STAGES, Tracer
 from repro.units import KiB, MiB
 
 
@@ -47,6 +48,46 @@ class TestTracerUnit:
         tracer = Tracer()
         tracer.label(0, 7, "remote")
         assert tracer.labels[(0, 7)] == "remote"
+
+    def test_retried_is_an_aux_stage_not_an_error(self):
+        # Regression: PfsClient._strip_watchdog records "retried", which
+        # used to raise SimulationError mid-simulation whenever trace=True
+        # met a fault plan that triggered a retry.
+        tracer = Tracer()
+        tracer.record(0, 1, "retried", 1.0)
+        tracer.record(0, 1, "retried", 2.0)
+        tracer.record(0, 2, "retried", 3.0)
+        assert tracer.aux_count("retried") == 3
+        assert tracer.aux_count("retried", client=0) == 3
+        assert tracer.aux_count("retried", client=1) == 0
+        # Aux records never pollute the pipeline records.
+        assert len(tracer) == 0
+
+    def test_aux_stage_names_are_closed(self):
+        assert "retried" in AUX_STAGES
+        with pytest.raises(SimulationError):
+            Tracer().aux_count("teleported")
+
+    def test_single_strip_breakdown_has_zero_stdev(self):
+        # One traced strip is a legitimate quick-scale configuration;
+        # statistics.stdev would raise StatisticsError on n=1.
+        tracer = Tracer()
+        for i, stage in enumerate(STAGES):
+            tracer.record(0, 1, stage, float(i))
+        breakdown = tracer.breakdown()
+        assert breakdown.strips_traced == 1
+        for delta in breakdown.deltas:
+            assert delta.stdev == 0.0
+
+    def test_stdev_over_multiple_strips(self):
+        tracer = Tracer()
+        for token, scale in ((1, 1.0), (2, 3.0)):
+            for i, stage in enumerate(STAGES):
+                tracer.record(0, token, stage, float(i) * scale)
+        breakdown = tracer.breakdown()
+        for delta in breakdown.deltas:
+            # deltas are 1.0 and 3.0 -> sample stdev sqrt(2).
+            assert delta.stdev == pytest.approx(2.0**0.5)
 
     def test_unknown_delta_query(self):
         tracer = Tracer()
@@ -102,6 +143,27 @@ class TestTracerIntegration:
         )
         sim.run()
         assert sim.cluster.tracer is None
+
+    def test_trace_with_fault_plan_retries_does_not_crash(self):
+        # Regression: trace=True + a fault plan whose failure window
+        # forces strip retries crashed the run on the "retried" record.
+        config = ClusterConfig(
+            n_servers=4,
+            trace=True,
+            faults=FaultPlan(
+                server_failure_windows=((0, 0.0, 2e-3),),
+                strip_retry_timeout=5e-3,
+                max_strip_retries=4,
+            ),
+            workload=WorkloadConfig(
+                n_processes=2, transfer_size=512 * KiB, file_size=1 * MiB
+            ),
+        )
+        sim = Simulation(config)
+        sim.run()
+        tracer = sim.cluster.tracer
+        assert tracer.aux_count("retried") > 0
+        assert tracer.breakdown().strips_traced > 0
 
     def test_sais_merge_delta_smaller_than_irqbalance(self):
         def traced_breakdown(policy):

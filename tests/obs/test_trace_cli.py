@@ -1,0 +1,107 @@
+"""Tests for ``sais-repro trace`` (repro.obs.trace_cli + CLI wiring)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.obs.trace_cli import (
+    resolve_experiment,
+    run_trace,
+    trace_point_config,
+)
+
+
+class TestResolveExperiment:
+    def test_exact_id_passes_through(self):
+        assert resolve_experiment("fig5_bandwidth_3g") == "fig5_bandwidth_3g"
+
+    def test_unique_prefix_resolves(self):
+        assert resolve_experiment("fig5_bandwidth") == "fig5_bandwidth_3g"
+
+    def test_ambiguous_prefix_rejected_with_candidates(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_experiment("ablation")
+        assert "ablation_costmodel" in str(excinfo.value)
+
+    def test_unknown_rejected_with_available(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_experiment("fig99")
+        assert "available" in str(excinfo.value)
+
+
+class TestTracePointConfig:
+    def test_returns_config_and_count(self):
+        config, count = trace_point_config("fig5_bandwidth_3g", "quick", 0)
+        assert count >= 1
+        assert config.n_servers > 0
+
+    def test_point_out_of_range(self):
+        with pytest.raises(ConfigError):
+            trace_point_config("fig5_bandwidth_3g", "quick", 9999)
+
+
+class TestRunTrace:
+    def test_writes_valid_perfetto_json(self, tmp_path):
+        out = tmp_path / "trace.json"
+        lines = []
+        code = run_trace(
+            "fig5_bandwidth_3g",
+            scale="quick",
+            out=str(out),
+            echo=lines.append,
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        # Slices, async pairs, metadata AND flow arrows all present.
+        assert {"M", "X", "b", "e", "s", "f"} <= phases
+        assert any("perfetto" in line for line in lines)
+
+    def test_default_policy_produces_migration_flows(self, tmp_path):
+        out = tmp_path / "trace.json"
+        run_trace(
+            "fig5_bandwidth_3g",
+            scale="quick",
+            out=str(out),
+            echo=lambda _msg: None,
+        )
+        payload = json.loads(out.read_text())
+        flows = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "s"
+        }
+        assert "irq-placement" in flows
+        assert "migration" in flows
+
+    def test_ascii_timeline_without_out(self):
+        lines = []
+        code = run_trace(
+            "fig5_bandwidth_3g", scale="quick", echo=lines.append
+        )
+        assert code == 0
+        text = "\n".join(lines)
+        assert "span timeline" in text
+
+
+class TestCliWiring:
+    def test_trace_subcommand_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "fig5_bandwidth_3g",
+                "--scale",
+                "quick",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
