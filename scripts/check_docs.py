@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Docs hygiene checker: broken links, stale CLI flags, API coverage.
+
+Three fast, dependency-free checks over the user-facing markdown
+(README.md, DESIGN.md, EXPERIMENTS.md, CONTRIBUTING.md, docs/*.md):
+
+1. **Links** — every relative markdown link/image target must exist in
+   the repository (anchors are stripped; external schemes are skipped).
+2. **Flags** — every ``--flag`` token the docs mention must be defined
+   by the ``sais-repro`` argument parser (or be a known external tool's
+   flag, e.g. pytest's ``--update-goldens``), so renamed or removed
+   options can't linger in prose.
+3. **API coverage** — ``docs/API.md`` must mention every ``src/repro``
+   subsystem as ``repro.<name>``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Exits non-zero listing every problem; CI runs this as a fast job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "ROADMAP.md",
+    *sorted(str(p.relative_to(ROOT)) for p in (ROOT / "docs").glob("*.md")),
+]
+
+#: Flags the docs legitimately mention that belong to other tools.
+EXTERNAL_FLAGS = {
+    "--benchmark-only",   # pytest-benchmark
+    "--update-goldens",   # our pytest conftest option
+    "--cov",              # pytest-cov (CONTRIBUTING)
+}
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(?<![\w/-])--[a-z][a-z0-9-]+")
+
+
+def parser_flags() -> set[str]:
+    """Every ``--option`` the sais-repro CLI defines, plus pytest's own."""
+    from repro.cli import _build_parser
+
+    flags: set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            flags.update(
+                opt for opt in action.option_strings if opt.startswith("--")
+            )
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(_build_parser())
+    return flags
+
+
+def check_links(problems: list[str]) -> None:
+    for rel in DOC_FILES:
+        path = ROOT / rel
+        if not path.exists():
+            problems.append(f"{rel}: listed in DOC_FILES but missing")
+            continue
+        for target in LINK_RE.findall(path.read_text(encoding="utf-8")):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue  # pure in-page anchor
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{rel}: broken link -> {target}")
+
+
+def check_flags(problems: list[str]) -> None:
+    known = parser_flags() | EXTERNAL_FLAGS
+    for rel in DOC_FILES:
+        path = ROOT / rel
+        if not path.exists():
+            continue
+        for line_no, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for flag in FLAG_RE.findall(line):
+                if flag not in known:
+                    problems.append(
+                        f"{rel}:{line_no}: documents unknown flag {flag}"
+                    )
+
+
+def check_api_coverage(problems: list[str]) -> None:
+    api = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    src = ROOT / "src" / "repro"
+    subsystems = sorted(
+        entry.stem
+        for entry in src.iterdir()
+        if not entry.name.startswith("_")
+        and (entry.is_dir() or entry.suffix == ".py")
+    )
+    for name in subsystems:
+        if f"repro.{name}" not in api:
+            problems.append(f"docs/API.md: subsystem repro.{name} not mentioned")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_links(problems)
+    check_flags(problems)
+    check_api_coverage(problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import json
+import os
 import platform
 import subprocess
 import time
@@ -58,6 +59,21 @@ class BenchRecord:
     events_per_s: float
     sim_elapsed_s: float
     bandwidth_mb_s: float
+    #: Shard calendars the entry ran on (0 = single calendar).
+    shards: int = 0
+    #: Conservative-protocol rounds (sharded entries only).
+    rounds: int = 0
+    #: Total wall seconds shards spent computing windows.
+    busy_s: float = 0.0
+    #: Sum over rounds of the slowest shard's window time — the compute
+    #: cost of the same run with one core per shard.
+    critical_path_s: float = 0.0
+    #: ``wall - busy + critical_path``: this entry's wall time had the
+    #: shard windows run concurrently.  On a multi-core host running the
+    #: ``mp`` transport the measured ``wall_time_s`` already shows the
+    #: overlap; on a single core (the ``inproc`` transport) this is the
+    #: honest projection, and the trajectory test gates on it.
+    projected_wall_s: float = 0.0
 
     def to_dict(self) -> dict[str, t.Any]:
         return dataclasses.asdict(self)
@@ -66,7 +82,34 @@ class BenchRecord:
 def run_entry(
     entry: BenchEntry, profile: bool = False, profile_top: int = 15
 ) -> tuple[BenchRecord, str | None]:
-    """Run one entry; returns its record plus an optional profile dump."""
+    """Run one entry; returns its record plus an optional profile dump.
+
+    Entries with ``shards`` set run on that many coupled calendars; all
+    other entries explicitly clear the ambient ``REPRO_SHARDS`` request so
+    the pinned trajectory always measures exactly what it says.
+    """
+    import os
+
+    from ..shard import SHARDS_ENV
+
+    saved = os.environ.get(SHARDS_ENV)
+    if entry.shards:
+        os.environ[SHARDS_ENV] = str(entry.shards)
+    else:
+        os.environ.pop(SHARDS_ENV, None)
+    try:
+        record, profile_text = _run_entry_timed(entry, profile, profile_top)
+    finally:
+        if saved is None:
+            os.environ.pop(SHARDS_ENV, None)
+        else:
+            os.environ[SHARDS_ENV] = saved
+    return record, profile_text
+
+
+def _run_entry_timed(
+    entry: BenchEntry, profile: bool, profile_top: int
+) -> tuple[BenchRecord, str | None]:
     from ..cluster.simulation import Simulation
     from ..units import MiB
 
@@ -94,6 +137,9 @@ def run_entry(
     # Read through the MetricsRegistry rather than poking env directly —
     # same number, but it keeps the registry on a tested hot path.
     events = int(sim.cluster.metrics.read("des.events_processed"))
+    outcome = sim.shard_outcome
+    busy = sum(outcome.busy_s) if outcome is not None else 0.0
+    critical = outcome.critical_path_s if outcome is not None else 0.0
     record = BenchRecord(
         name=entry.name,
         title=entry.title,
@@ -102,6 +148,11 @@ def run_entry(
         events_per_s=events / wall if wall > 0 else 0.0,
         sim_elapsed_s=metrics.elapsed,
         bandwidth_mb_s=metrics.bandwidth / MiB,
+        shards=entry.shards if outcome is not None else 0,
+        rounds=outcome.rounds if outcome is not None else 0,
+        busy_s=busy,
+        critical_path_s=critical,
+        projected_wall_s=max(0.0, wall - busy + critical) if outcome else 0.0,
     )
     return record, profile_text
 
@@ -176,6 +227,13 @@ def run_suite(
             f"({record.events_per_s:,.0f}/s), "
             f"{record.bandwidth_mb_s:.1f} MB/s simulated"
         )
+        if record.shards:
+            say(
+                f"{record.name}: {record.shards} shards, "
+                f"{record.rounds} rounds, critical path "
+                f"{record.critical_path_s:.3f}s -> projected wall "
+                f"{record.projected_wall_s:.3f}s"
+            )
         if profile_text is not None:
             say(f"--- profile: {record.name} ---\n{profile_text}")
         if profile and flame_dir is not None:
@@ -194,6 +252,7 @@ def run_suite(
         ),
         "scale": scale,
         "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
         "entries": [record.to_dict() for record in records],
         "totals": {
             "wall_time_s": sum(r.wall_time_s for r in records),

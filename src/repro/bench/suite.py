@@ -39,6 +39,11 @@ class BenchEntry:
     config: ClusterConfig
     #: Included in the quick suite (CI smoke + the committed trajectory).
     quick: bool = True
+    #: Run on this many coupled shard calendars (0 = single calendar).
+    #: Sharded entries are byte-identical to their single twin — same
+    #: ``events_processed`` — which the committed trajectory pins; the
+    #: wall/critical-path columns measure what sharding buys.
+    shards: int = 0
 
 
 def _point(
@@ -69,6 +74,29 @@ def _point(
     )
 
 
+def _fanin_point(n_clients: int) -> ClusterConfig:
+    """A full-scale multiclient fan-in: the sharding showcase.
+
+    Many clients each reading from many servers is the regime the shard
+    cut targets — every client node is an independent calendar domain, so
+    the per-round critical path is one client's work, not all of them.
+    MSS 1500 puts the bulk of the events on the client side (per-segment
+    NIC/softirq work), where the parallelism lives.
+    """
+    return ClusterConfig(
+        n_servers=16,
+        n_clients=n_clients,
+        client=nic_config(3),
+        network=NetworkConfig(mss=1500),
+        workload=WorkloadConfig(
+            n_processes=4,
+            transfer_size=512 * KiB,
+            file_size=4 * MiB,
+        ),
+        policy="source_aware",
+    )
+
+
 def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
     """The pinned suite; ``scale`` is ``"quick"`` or ``"full"``."""
     entries = (
@@ -93,6 +121,25 @@ def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
             config=_point(
                 1500, transfer=128 * KiB, file_size=256 * KiB, n_processes=2
             ),
+        ),
+        BenchEntry(
+            name="shard2_mtu1500_read",
+            title="read, MSS 1500, two shard calendars",
+            config=_point(1500),
+            shards=2,
+        ),
+        BenchEntry(
+            name="fanin_multiclient",
+            title="4-client fan-in, 16 servers (single calendar)",
+            config=_fanin_point(4),
+            quick=False,
+        ),
+        BenchEntry(
+            name="fanin_multiclient_shard5",
+            title="4-client fan-in, 16 servers, five shard calendars",
+            config=_fanin_point(4),
+            quick=False,
+            shards=5,
         ),
         BenchEntry(
             name="irqbalance_jumbo9k",
@@ -121,7 +168,7 @@ def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
 
 
 def entry_by_name(name: str, scale: str = "full") -> BenchEntry:
-    """Look up one entry (used by tests and ``--entry``)."""
+    """Look up one entry by its suite name."""
     for entry in bench_entries(scale):
         if entry.name == name:
             return entry

@@ -6,14 +6,21 @@ Usage::
     sais-repro run fig5_bandwidth_3g      # regenerate one figure
     sais-repro run all --scale quick      # everything, small runs
     sais-repro run all --jobs 8           # fan grid points over 8 workers
+    sais-repro run all --shards 2         # split each run over 2 calendars
     sais-repro summary --jobs 4           # near-instant once cached
+    sais-repro bench --quick              # benchmark the simulator itself
+    sais-repro trace fig5_bandwidth       # span-trace one grid point
     python -m repro ...                   # same thing
 
 Results are cached content-addressed under ``--cache-dir`` (default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/sais-repro``); pass ``--no-cache`` to
-bypass reads and writes.  ``--jobs N`` output is byte-identical to
-``--jobs 1`` — grid points are deterministic and reassembled in grid
-order (see ``tests/experiments/test_determinism.py``).
+bypass reads and writes.  Both parallelism axes are pure speed knobs:
+``--jobs N`` (across grid points) and ``--shards N`` (within one run,
+see DESIGN.md section 10) produce output byte-identical to the serial
+single-calendar run (see ``tests/experiments/test_determinism.py`` and
+``tests/shard/``), and they compose.  ``--fault-plan FILE`` degrades any
+experiment's fabric from a JSON fault plan (EXPERIMENTS.md, "Fault
+injection").
 """
 
 from __future__ import annotations
@@ -52,6 +59,17 @@ def _build_parser() -> argparse.ArgumentParser:
             raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
         return value
 
+    def shards_int(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+        if value < 2:
+            raise argparse.ArgumentTypeError(
+                f"--shards needs at least 2 shards, got {value}"
+            )
+        return value
+
     def add_runner_options(command: argparse.ArgumentParser) -> None:
         command.add_argument(
             "--jobs",
@@ -59,6 +77,16 @@ def _build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help="worker processes for grid points (default: 1 = in-process)",
+        )
+        command.add_argument(
+            "--shards",
+            type=shards_int,
+            default=None,
+            metavar="N",
+            help=(
+                "split each run over N coupled event calendars "
+                "(byte-identical results; composes with --jobs)"
+            ),
         )
         command.add_argument(
             "--cache-dir",
@@ -148,7 +176,7 @@ def _build_parser() -> argparse.ArgumentParser:
     scale_group.add_argument(
         "--full",
         action="store_true",
-        help="run the full suite (adds irqbalance/NAPI/write entries)",
+        help="run the full suite (adds irqbalance/NAPI/write and the sharded fan-in entries)",
     )
     bench.add_argument(
         "--out",
@@ -278,6 +306,23 @@ def _install_fault_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_shards(args: argparse.Namespace) -> None:
+    """Publish ``--shards N`` as the ambient ``REPRO_SHARDS`` request.
+
+    The request travels in the environment (inherited by ``--jobs``
+    worker processes), so the two flags compose with no runner plumbing;
+    ineligible points fall back to the single calendar silently (see
+    :func:`repro.shard.shard_block_reason`).
+    """
+    shards = getattr(args, "shards", None)
+    if shards is not None:
+        import os
+
+        from .shard import SHARDS_ENV
+
+        os.environ[SHARDS_ENV] = str(shards)
+
+
 def _make_runner(args: argparse.Namespace) -> "t.Any":
     from .runner import ExperimentRunner
 
@@ -353,6 +398,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         code = _install_fault_plan(args)
         if code:
             return code
+        _install_shards(args)
         summary = _make_runner(args).run_many(
             all_experiment_ids(), scale=args.scale
         )
@@ -385,6 +431,7 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     code = _install_fault_plan(args)
     if code:
         return code
+    _install_shards(args)
     run_summary = _make_runner(args).run_many(ids, scale=args.scale)
     _report_summary(run_summary)
 

@@ -37,14 +37,28 @@ class Simulation:
         self.config = config
         self.cluster: Cluster = build_cluster(config, spans=spans)
         self._ran = False
+        #: The :class:`~repro.shard.ShardOutcome` when the run executed on
+        #: shard calendars (None on the single-calendar path); the bench
+        #: runner reads the round/critical-path accounting from here.
+        self.shard_outcome: t.Any | None = None
 
     def run(self) -> RunMetrics:
-        """Run the workload to completion; single-shot per instance."""
+        """Run the workload to completion; single-shot per instance.
+
+        When the ambient ``REPRO_SHARDS`` request is set (``--shards N``)
+        and the point is eligible, the run executes on N coupled shard
+        calendars instead of this cluster's single one — byte-identical
+        results, see :mod:`repro.shard`.  Ineligible points (fault plans,
+        tracing, ``REPRO_NO_SHARDS``) fall back here silently.
+        """
         if self._ran:
             raise SimulationError(
                 "a Simulation is single-shot; build a new one to re-run"
             )
         self._ran = True
+        sharded = self._maybe_run_sharded()
+        if sharded is not None:
+            return sharded
         cluster = self.cluster
         env = cluster.env
         workload = self.config.workload
@@ -87,6 +101,32 @@ class Simulation:
             elapsed=elapsed,
             clients=tuple(clients),
             resilience=resilience,
+        )
+
+    def _maybe_run_sharded(self) -> RunMetrics | None:
+        """The ambient ``--shards`` path; None means run single-calendar."""
+        from ..shard import run_sharded, shard_block_reason, shards_requested
+
+        n_shards = shards_requested()
+        if n_shards < 2:
+            return None
+        if shard_block_reason(self.config, self.cluster.spans) is not None:
+            return None
+        outcome = run_sharded(self.config, n_shards)
+        self.shard_outcome = outcome
+        cluster = self.cluster
+        # Mirror the outcome onto this (never-run) cluster so every probe
+        # reads what the single calendar would have recorded: the bench
+        # runner's des.events_processed, the switch counters.
+        cluster.env.events_processed = outcome.model_events
+        cluster.env._now = outcome.elapsed
+        cluster.switch.bytes_switched.add(outcome.fabric_bytes)
+        cluster.switch.packets_switched.add(outcome.fabric_packets)
+        return RunMetrics(
+            policy=self.config.policy,
+            elapsed=outcome.elapsed,
+            clients=outcome.clients,
+            resilience=None,
         )
 
 

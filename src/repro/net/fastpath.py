@@ -63,12 +63,36 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
     from ..net.switch import Switch
     from .links import Link
 
-__all__ = ["WireFastPath", "fast_wire_enabled"]
+__all__ = ["WireFastPath", "ShardWirePort", "fast_wire_enabled"]
 
 
 def fast_wire_enabled() -> bool:
     """False when ``REPRO_NO_WIRE_FASTPATH`` is set (A/B testing knob)."""
     return not os.environ.get("REPRO_NO_WIRE_FASTPATH")
+
+
+def serialize_out(env: Environment, link: "Link", nbytes: int) -> t.Generator:
+    """The sender-side uplink half shared by every fast-path transmit:
+    wire-resource grant, serialization timeout, counters at departure.
+
+    Factored out so the sharded runtime's boundary port replays *exactly*
+    the event sequence of the single-calendar fast path — same resource
+    machinery, same timeout, same counter instants — before handing the
+    packet across the shard boundary instead of into the switch.
+
+    Returns the wire-*grant* instant.  Two departures on different
+    uplinks can tie at the same float; the single calendar orders the tie
+    by the serialization timeouts' event ids, which were assigned at
+    grant time — so the grant instant is the cross-shard stand-in for
+    that event-id order (see ``repro.shard.coordinator._fabric_key``).
+    """
+    with link._wire.request() as req:
+        yield req
+        grant = env.now
+        yield env.timeout(link.serialization_time(nbytes))
+    link.bytes_sent.add(nbytes)
+    link.packets_sent.add()
+    return grant
 
 
 class WireFastPath:
@@ -110,13 +134,10 @@ class WireFastPath:
         """Send one data/ack packet server->client; blocks the caller for
         uplink queueing + serialization, exactly like ``Link.transmit``."""
         env = self.env
-        with link._wire.request() as req:
-            yield req
-            yield env.timeout(link.serialization_time(packet.size))
-        # now == uplink departure: charge the link counters at the same
-        # instant the resource-based path does.
-        link.bytes_sent.add(packet.size)
-        link.packets_sent.add()
+        # After the shared uplink half, now == uplink departure: the link
+        # counters were charged at the same instant the resource-based
+        # path charges them.
+        yield from serialize_out(env, link, packet.size)
         switch = self.switch
         fabric_departure = switch.relay(packet.size)
         if self.spans is not None:
@@ -144,11 +165,7 @@ class WireFastPath:
         :class:`~repro.pfs.request.StripRequest`) is only consulted for
         span attribution."""
         env = self.env
-        with link._wire.request() as req:
-            yield req
-            yield env.timeout(link.serialization_time(size))
-        link.bytes_sent.add(size)
-        link.packets_sent.add()
+        yield from serialize_out(env, link, size)
         switch = self.switch
         fabric_departure = switch.relay(size)
         if self.spans is not None and request is not None:
@@ -164,3 +181,52 @@ class WireFastPath:
             quiet=True,
             start_delay=(fabric_departure + switch.latency) - env.now,
         )
+
+
+class ShardWirePort:
+    """The shard-side stand-in for :class:`WireFastPath`.
+
+    Inside a shard (see :mod:`repro.shard`) the switch is not local: it is
+    the shard *boundary*, owned by the coordinator.  This port replays the
+    sender-side uplink half of each wire path bit-for-bit (via
+    :func:`serialize_out`) and then, where the single-calendar fast path
+    would advance the switch recurrence, appends a handoff record
+    ``(kind, departure, grant, payload)`` to the shard's outbox instead.  The
+    coordinator replays the switch recurrence over all shards' handoffs in
+    global departure order at the next conservative barrier.
+
+    Both wire paths cross here: ``transmit_to_client`` carries read data
+    and write acks out of a server shard; ``transmit_to_server`` carries
+    write strips out of a client shard.
+    """
+
+    #: Outbox record kinds.
+    WIRE = "wire"  # server -> fabric: data/ack packet
+    WRITE = "write"  # client -> fabric: write strip (StripRequest rides along)
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        #: Handoffs generated since the last barrier; the shard runtime
+        #: drains this after every window.
+        self.outbox: list[tuple[str, float, float, t.Any]] = []
+
+    def transmit_to_client(self, link: "Link", packet: "Packet") -> t.Generator:
+        """Server-shard half of the server->client wire path."""
+        env = self.env
+        grant = yield from serialize_out(env, link, packet.size)
+        self.outbox.append((self.WIRE, env.now, grant, packet))
+
+    def transmit_to_server(
+        self, link: "Link", size: int, request: t.Any
+    ) -> t.Generator:
+        """Client-shard half of the client->server (write) wire path.
+
+        Unlike :meth:`WireFastPath.transmit_to_server` there is no
+        ``arrival`` callable — the destination server lives in another
+        shard, so the request itself crosses the boundary and the
+        coordinator spawns ``serve_write`` there at the exact instant the
+        single-calendar run would have.
+        """
+        env = self.env
+        grant = yield from serialize_out(env, link, size)
+        self.outbox.append((self.WRITE, env.now, grant, request))

@@ -13,9 +13,9 @@ Timestamps are virtual seconds scaled to microseconds (the format's
 native unit) — never wall-clock, so exports are byte-reproducible.
 
 :func:`validate_trace` is a lightweight structural checker used by the
-CLI's ``--validate`` flag and the CI smoke job; it verifies phase/field
-shape and that async and flow events pair up, without needing any
-third-party schema library.
+test suite and the CI tracing smoke job; it verifies phase/field shape
+and that async and flow events pair up, without needing any third-party
+schema library.
 """
 
 from __future__ import annotations

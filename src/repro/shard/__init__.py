@@ -1,0 +1,88 @@
+"""Sharded event calendars: multi-process simulation of one large run.
+
+``repro.runner --jobs`` parallelizes *across* experiment points; this
+package parallelizes *within* one run.  The cluster is partitioned into
+weakly-coupled domains — client nodes in client shards, I/O servers in
+server shards — each advancing its own :class:`~repro.des.Environment`
+window by window under a conservative-lookahead protocol whose lookahead
+is the switch ingress->egress latency.  The switch fabric itself is the
+shard boundary, replayed by the coordinator between windows
+(:mod:`repro.shard.fabric`).
+
+The headline guarantee is **byte-identity**: a sharded run produces the
+same metrics, the same elapsed time, and the same (corrected) event count
+as the single-calendar run — pinned by re-running every quick-scale
+golden snapshot under ``--shards 2`` and by the shard entries of the
+bench suite.  See DESIGN.md section 10 for the safety and equivalence
+argument, and docs/ARCHITECTURE.md for the module tour.
+
+Usage: ``sais-repro run <exp> --shards 4`` (or ``repro bench`` entries
+with ``shards`` set), composing freely with ``--jobs`` because the
+request travels in the ``REPRO_SHARDS`` environment variable, which
+worker processes inherit.  ``REPRO_NO_SHARDS=1`` is the escape hatch
+that forces every run back onto a single calendar.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from .coordinator import ShardOutcome, run_plan
+from .fabric import FabricRelay
+from .plan import (
+    NO_SHARDS_ENV,
+    SHARDS_ENV,
+    TRANSPORT_ENV,
+    ShardPlan,
+    plan_shards,
+    shard_block_reason,
+    shards_requested,
+    transport_requested,
+)
+from .runtime import ClientShardRuntime, ServerShardRuntime, build_runtime
+from .transport import start_shards
+
+if t.TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import ClusterConfig
+
+__all__ = [
+    "ShardPlan",
+    "ShardOutcome",
+    "FabricRelay",
+    "plan_shards",
+    "shard_block_reason",
+    "shards_requested",
+    "transport_requested",
+    "run_sharded",
+    "build_runtime",
+    "ClientShardRuntime",
+    "ServerShardRuntime",
+    "start_shards",
+    "run_plan",
+    "SHARDS_ENV",
+    "NO_SHARDS_ENV",
+    "TRANSPORT_ENV",
+]
+
+
+def run_sharded(
+    config: "ClusterConfig",
+    n_shards: int,
+    transport: str | None = None,
+) -> ShardOutcome:
+    """Run one cluster workload across ``n_shards`` coupled calendars.
+
+    Raises :class:`~repro.errors.ConfigError` for an unshardable request
+    (fewer than two shards, zero-latency fabric).  Callers wanting the
+    graceful ambient path should consult :func:`shard_block_reason`
+    first — this function assumes eligibility.
+    """
+    plan = plan_shards(config, n_shards)
+    handles, peeks = start_shards(
+        config, plan, transport or transport_requested()
+    )
+    try:
+        return run_plan(config, plan, handles, peeks)
+    finally:
+        for handle in handles:
+            handle.close()

@@ -1,0 +1,234 @@
+"""The conservative-lookahead coordinator for sharded single runs.
+
+One round of the protocol (DESIGN.md section 10):
+
+1. **LBTS.**  The global lower bound on any future event is the minimum
+   over every shard's next local timestamp and every undelivered
+   cross-shard message's effect time.  Nothing anywhere can happen
+   earlier, and no cross-shard message generated from now on can take
+   effect before ``LBTS + L`` (``L`` = switch latency = the lookahead).
+2. **Window.**  Every shard dispatches its events strictly below
+   ``LBTS + L`` and returns the boundary handoffs that window generated:
+   read requests leaving clients, uplink departures entering the fabric.
+3. **Fabric.**  The coordinator merges all handoffs into global uplink-
+   departure order (ties broken by destination client and the client's
+   own strip-issue order — the same order the single calendar's
+   event ids encode) and replays the switch FIFO recurrence over them.
+   Each output is queued for delivery at the start of the next round, at
+   the exact float instant the single-calendar fast path computes.
+4. Repeat until every client shard's workload-complete event has fired;
+   the global elapsed time is the latest of those instants, exactly as
+   ``run(until=AllOf(...))`` would have reported.
+
+Event accounting: the sum of per-shard ``events_processed`` equals the
+single calendar's count after two corrections — the single run dispatches
+*one* workload AllOf where K client shards dispatch K, and a write run's
+final window may dispatch asynchronous disk-flush tails past the global
+end that the single calendar never reached (discounted via the stamp
+lists the server shards return).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import ClusterConfig
+from ..errors import SimulationError
+from ..metrics.collectors import ClientMetrics
+from .fabric import FabricRelay
+from .plan import ShardPlan
+from .runtime import INF
+
+__all__ = ["ShardOutcome", "run_plan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardOutcome:
+    """Everything a sharded run produces, ready for RunMetrics assembly."""
+
+    elapsed: float
+    clients: tuple[ClientMetrics, ...]
+    total_bytes: int
+    #: The single-calendar-equivalent event count (see module docstring).
+    model_events: int
+    #: Raw sum of per-shard dispatch counts, before corrections.
+    raw_events: int
+    rounds: int
+    fabric_bytes: int
+    fabric_packets: int
+    #: Wall seconds each shard spent computing windows, in handle order.
+    busy_s: tuple[float, ...] = ()
+    #: Sum over rounds of the slowest shard's window time — what the
+    #: compute would cost if every shard ran on its own core.  On a
+    #: single-core host this is the honest stand-in for parallel wall
+    #: time (the bench records both; see ``repro.bench``).
+    critical_path_s: float = 0.0
+
+
+def _fabric_key(rec: tuple) -> tuple:
+    """Global FIFO order of uplink departures entering the fabric.
+
+    The single calendar processes same-instant departures in event-id
+    order, which traces through an unbounded history of insertion
+    instants.  The plan makes that order reproducible without replaying
+    the history (see :func:`~repro.shard.plan.plan_shards`):
+
+    * ``wire`` records (server data/acks) all come from the one server
+      shard, whose dispatch order *is* the single calendar's event-id
+      order for those events — so the sort must preserve their arrival
+      order on ties, which Python's stable sort does exactly because
+      the key deliberately stops at ``(departure, grant)``.
+    * ``write`` records come from many client shards, but clients are
+      homogeneous IOR instances: same-instant write departures are
+      symmetric, and the single calendar's event-id order for them is
+      issue order — ``(client, strip id)``.
+
+    The grant instant separates most cross-kind ties (the serialization
+    timeouts' event ids were assigned at wire-grant time); a residual
+    exact tie between a ``wire`` and a ``write`` record orders data
+    before write strips.
+    """
+    tag, departure, grant, payload = rec
+    if tag == "wire":  # data/ack packet out of the server shard
+        return (departure, grant, 0)
+    # "write": a write strip out of a client shard
+    return (departure, grant, 1, payload.client, payload.strip_id)
+
+
+def _delivery_key(rec: tuple) -> tuple:
+    """Insertion order of same-round deliveries into one shard's calendar."""
+    kind, gen, when, payload = rec
+    client = payload.dst_client if kind == "rx" else payload.client
+    strip = payload.strip_id
+    segment = payload.segment if kind == "rx" else 0
+    return (when, gen, client, strip, segment)
+
+
+def run_plan(
+    config: ClusterConfig,
+    plan: ShardPlan,
+    handles: t.Sequence[t.Any],
+    peeks: t.Sequence[float],
+) -> ShardOutcome:
+    """Drive one sharded run over started shard ``handles`` to completion."""
+    lookahead = plan.lookahead
+    fabric = FabricRelay(config.network.switch_bandwidth)
+    n_client_shards = len(plan.client_groups)
+
+    client_shard_of: dict[int, int] = {}
+    for pos, group in enumerate(plan.client_groups):
+        for c in group:
+            client_shard_of[c] = pos
+    server_shard_of: dict[int, int] = {}
+    for pos, group in enumerate(plan.server_groups):
+        for s in group:
+            server_shard_of[s] = n_client_shards + pos
+
+    peeks = list(peeks)
+    pending: list[list[tuple]] = [[] for _ in handles]
+    done: dict[int, float] = {}
+    last_stamps: dict[int, list[float]] = {}
+    rounds = 0
+    busy_totals = [0.0] * len(handles)
+    critical_path = 0.0
+
+    while len(done) < n_client_shards:
+        lbts = min(peeks)
+        for queue in pending:
+            for rec in queue:
+                when = rec[2]
+                if when < lbts:
+                    lbts = when
+        if lbts == INF:
+            raise SimulationError(
+                "sharded simulation deadlocked: every shard calendar is "
+                "empty and no cross-shard messages are in flight, but the "
+                "workload has not completed"
+            )
+        bound = lbts + lookahead
+        rounds += 1
+        for i, handle in enumerate(handles):
+            queue = pending[i]
+            if queue:
+                queue.sort(key=_delivery_key)
+                pending[i] = []
+            handle.post_advance(bound, queue)
+        wire_inputs: list[tuple] = []
+        round_max = 0.0
+        for i, handle in enumerate(handles):
+            outbox, peek, done_at, stamps, busy = handle.recv()
+            busy_totals[i] += busy
+            if busy > round_max:
+                round_max = busy
+            peeks[i] = peek
+            if done_at is not None and i not in done:
+                done[i] = done_at
+            if stamps is not None:
+                last_stamps[i] = stamps
+            for rec in outbox:
+                if rec[0] == "req":
+                    # Client -> server read request: one fabric latency,
+                    # no serialization (exactly builder.make_submit).
+                    _tag, t_issue, request = rec
+                    pending[server_shard_of[request.server]].append(
+                        ("serve", t_issue, t_issue + lookahead, request)
+                    )
+                else:
+                    wire_inputs.append(rec)
+        wire_inputs.sort(key=_fabric_key)
+        for tag, departure, _grant, payload in wire_inputs:
+            fabric_departure = fabric.relay(payload.size, departure)
+            if tag == "wire":
+                arrival = fabric_departure + lookahead
+                pending[client_shard_of[payload.dst_client]].append(
+                    ("rx", departure, arrival, payload)
+                )
+            else:
+                # Replicate transmit_to_server's now + ((dep + L) - now)
+                # float arithmetic bit-for-bit (it is *not* dep + L).
+                start = departure + (
+                    (fabric_departure + lookahead) - departure
+                )
+                pending[server_shard_of[payload.server]].append(
+                    ("serve_write", departure, start, payload)
+                )
+        critical_path += round_max
+
+    t_end = max(done.values())
+    if t_end <= 0:
+        raise SimulationError("workload finished in zero simulated time")
+
+    for handle in handles:
+        handle.post_finalize(t_end)
+    rows: list[tuple[int, ClientMetrics, int]] = []
+    raw_events = 0
+    for handle in handles:
+        reply = handle.recv()
+        if reply[0] == "client":
+            rows.extend(reply[1])
+            raw_events += reply[2]
+        else:
+            raw_events += reply[1]
+
+    overrun = 0
+    for i, stamps in last_stamps.items():
+        if i >= n_client_shards:
+            overrun += sum(1 for when in stamps if when > t_end)
+    model_events = raw_events - (n_client_shards - 1) - overrun
+
+    rows.sort(key=lambda row: row[0])
+    clients = tuple(row[1] for row in rows)
+    total_bytes = sum(row[2] for row in rows)
+    return ShardOutcome(
+        elapsed=t_end,
+        clients=clients,
+        total_bytes=total_bytes,
+        model_events=model_events,
+        raw_events=raw_events,
+        rounds=rounds,
+        fabric_bytes=fabric.bytes_switched,
+        fabric_packets=fabric.packets_switched,
+        busy_s=tuple(busy_totals),
+        critical_path_s=critical_path,
+    )

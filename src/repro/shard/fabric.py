@@ -1,0 +1,55 @@
+"""The coordinator-resident switch fabric.
+
+In a sharded run the switch backplane cannot live inside any shard: every
+shard's wire traffic shares it, so per-shard copies would drift.  Instead
+the coordinator replays :meth:`repro.net.switch.Switch.relay`'s FIFO
+recurrence over *all* shards' uplink departures, merged into global
+departure order, once per conservative window::
+
+    depart = max(free, arrival) + size / backplane_bandwidth;  free = depart
+
+This is safe precisely because of the lookahead argument (DESIGN.md
+section 10): every handoff generated inside window ``[B, B + L)`` has a
+true departure ``a`` in that window, so its fabric output takes effect at
+``depart + L >= a + L >= B + L`` — never inside any window a shard has
+already run.  And it is *exact* because the single-calendar fast path
+also applies the recurrence in global uplink-departure order; replaying
+the same arithmetic on the same floats in the same order yields the same
+bits.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FabricRelay"]
+
+
+class FabricRelay:
+    """The analytic backplane FIFO, detached from any event calendar."""
+
+    def __init__(self, backplane_bandwidth: float) -> None:
+        if backplane_bandwidth <= 0:
+            raise ValueError(
+                f"backplane_bandwidth must be positive, got {backplane_bandwidth}"
+            )
+        self.backplane_bandwidth = backplane_bandwidth
+        #: Next-free instant of the backplane (identical arithmetic to
+        #: ``Switch._fabric_free`` — same operands, same order).
+        self.free = 0.0
+        self.bytes_switched = 0
+        self.packets_switched = 0
+
+    def relay(self, nbytes: int, arrival: float) -> float:
+        """Carry ``nbytes`` arriving at ``arrival`` across the backplane.
+
+        Byte-for-byte the arithmetic of :meth:`Switch.relay`, with the
+        explicit ``arrival`` standing in for ``env.now`` (the coordinator
+        has no clock; the caller passes the handoff's true departure).
+        """
+        start = self.free
+        if start < arrival:
+            start = arrival
+        departure = start + nbytes / self.backplane_bandwidth
+        self.free = departure
+        self.bytes_switched += nbytes
+        self.packets_switched += 1
+        return departure

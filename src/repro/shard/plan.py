@@ -1,0 +1,163 @@
+"""Domain assignment and eligibility for sharded single-run simulation.
+
+A shard plan partitions one cluster into weakly-coupled *domains*: every
+client node (cores, caches, NIC, softirq daemons, PFS client) lives in
+exactly one client shard, every I/O server (disk, page cache, uplink) in
+exactly one server shard.  The switch fabric belongs to no shard — it is
+the boundary, replayed by the coordinator at each conservative barrier
+(see :mod:`repro.shard.coordinator`).
+
+The lookahead of the conservative protocol is the switch ingress->egress
+latency: no message can cross the boundary and take effect sooner than
+one fabric traversal, so a shard that has processed everything below the
+global lower-bound-on-timestamp ``B`` may safely advance to ``B + L``.
+A zero-latency fabric has zero lookahead and cannot be sharded.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+from ..config import ClusterConfig
+from ..errors import ConfigError
+from ..net.fastpath import fast_wire_enabled
+
+__all__ = [
+    "ShardPlan",
+    "plan_shards",
+    "shard_block_reason",
+    "shards_requested",
+    "transport_requested",
+]
+
+#: Ambient request for sharded runs, set by ``--shards N`` and inherited
+#: by ``--jobs`` worker processes (so the two compose with no plumbing).
+SHARDS_ENV = "REPRO_SHARDS"
+#: Escape hatch: force single-calendar runs even when REPRO_SHARDS is set.
+NO_SHARDS_ENV = "REPRO_NO_SHARDS"
+#: Transport override: ``mp`` (multiprocessing workers) or ``inproc``
+#: (coordinator drives every shard in-process; used by tests and as the
+#: automatic fallback wherever workers cannot be spawned).  Unset, the
+#: transport is picked by CPU count: worker processes on a single-core
+#: host only add IPC latency to every conservative window.
+TRANSPORT_ENV = "REPRO_SHARD_TRANSPORT"
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardPlan:
+    """One partition of a cluster into per-domain event calendars."""
+
+    #: Conservative lookahead in seconds (= the switch latency).
+    lookahead: float
+    #: Client node indices per client shard (contiguous, in order).
+    client_groups: tuple[tuple[int, ...], ...]
+    #: Server indices per server shard (contiguous, in order).
+    server_groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.client_groups) + len(self.server_groups)
+
+
+def _split(n_items: int, n_groups: int) -> tuple[tuple[int, ...], ...]:
+    """Contiguous near-even split of ``range(n_items)`` into ``n_groups``."""
+    base, extra = divmod(n_items, n_groups)
+    groups: list[tuple[int, ...]] = []
+    start = 0
+    for g in range(n_groups):
+        size = base + (1 if g < extra else 0)
+        groups.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(groups)
+
+
+def plan_shards(config: ClusterConfig, n_shards: int) -> ShardPlan:
+    """Partition ``config``'s cluster into ``n_shards`` domains.
+
+    Clients are spread over ``n_shards - 1`` shards; the server domain
+    always shares **one** calendar.  That asymmetry is what makes the
+    byte-identity guarantee robust: same-instant uplink departures from
+    different *servers* are ordered by the single calendar's event ids,
+    whose order traces through an unbounded history of insertion instants
+    (disk starts, cache hits, wire grants) — reproducible across
+    calendars only by keeping those servers *on the same calendar*, where
+    dispatch order is event-id order by construction.  Client nodes need
+    no such care: they are homogeneous IOR instances whose same-instant
+    handoffs are symmetric, so the (client, strip) key orders them
+    exactly (DESIGN.md section 10).  With ``--shards 2`` this is the
+    natural cut: all clients on one calendar, all servers on the other.
+    ``n_shards`` is clamped to ``n_clients + 1``; asking for fewer than
+    two shards or sharding a zero-latency fabric is a configuration
+    error (zero lookahead admits no conservative window).
+    """
+    if n_shards < 2:
+        raise ConfigError(
+            f"--shards needs at least 2 shards, got {n_shards}"
+        )
+    if config.network.latency <= 0:
+        raise ConfigError(
+            "cannot shard a cluster with zero switch latency: the "
+            "conservative lookahead equals the fabric latency, and a "
+            "zero-lookahead window can never advance"
+        )
+    n_shards = min(n_shards, config.n_clients + 1)
+    n_client_shards = max(1, n_shards - 1)
+    return ShardPlan(
+        lookahead=config.network.latency,
+        client_groups=_split(config.n_clients, n_client_shards),
+        server_groups=(tuple(range(config.n_servers)),),
+    )
+
+
+def shard_block_reason(
+    config: ClusterConfig, spans: object | None = None
+) -> str | None:
+    """Why this run must stay on a single calendar, or None if shardable.
+
+    Sharding degrades gracefully: an ineligible run silently falls back
+    to the single-calendar path (which is always byte-identical anyway),
+    so ``--shards`` composes with every other flag.
+    """
+    if os.environ.get(NO_SHARDS_ENV):
+        return f"{NO_SHARDS_ENV} is set"
+    if spans is not None:
+        return "causal span tracing records cross-shard parent/child links"
+    if config.trace:
+        return "the per-strip lifecycle tracer is single-calendar"
+    if config.faults is not None and not config.faults.is_null:
+        return "fault plans need the resource-based wire path"
+    if not fast_wire_enabled():
+        return "REPRO_NO_WIRE_FASTPATH forces the single-calendar slow path"
+    if config.network.latency <= 0:
+        return "zero switch latency means zero conservative lookahead"
+    return None
+
+
+def shards_requested() -> int:
+    """The ambient ``REPRO_SHARDS`` request; 0 when unset or malformed."""
+    raw = os.environ.get(SHARDS_ENV, "")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 0
+    return n if n >= 2 else 0
+
+
+def transport_requested() -> str:
+    """The shard transport to use: the env override, else CPU-count auto.
+
+    ``REPRO_SHARD_TRANSPORT=inproc|mp`` forces a transport.  Unset, the
+    default is ``mp`` on a multi-core host and ``inproc`` on a single
+    core, where worker processes cannot run concurrently and their pipe
+    round-trips would tax every conservative window for nothing.  Both
+    transports produce byte-identical results.
+    """
+    name = os.environ.get(TRANSPORT_ENV, "")
+    if name in ("inproc", "mp"):
+        return name
+    try:
+        n_cpus = os.cpu_count() or 1
+    except Exception:  # pragma: no cover - platform oddity
+        n_cpus = 1
+    return "mp" if n_cpus > 1 else "inproc"

@@ -1,0 +1,259 @@
+"""Per-shard event calendars: one domain of the cluster, windowed.
+
+Each runtime owns a fresh :class:`~repro.des.Environment` holding exactly
+one domain of the cluster — client nodes or I/O servers — built with the
+*same* constructors the single-calendar builder uses
+(:func:`~repro.cluster.builder.make_server` and friends), the same
+name-keyed RNG streams, and the same workload spawn order.  Because RNG
+streams are keyed by name (not draw order) and every cross-boundary
+message is re-injected at the exact float instant the single-calendar run
+computed, the events a domain processes are bit-identical in both modes;
+only their distribution over calendars differs.
+
+The runtime speaks a tiny windowed protocol (driven by a transport):
+
+``advance(bound, deliveries)``
+    insert the coordinator's deliveries, dispatch every local event
+    strictly below ``bound``, and return the handoffs generated plus the
+    next local timestamp.
+``finalize(t_end)``
+    pin the clock to the global end time and collect metrics.
+"""
+
+from __future__ import annotations
+
+import time
+import typing as t
+
+from ..cluster.builder import (
+    make_client_uplink,
+    make_server,
+    make_server_uplink,
+)
+from ..cluster.client_node import ClientNode
+from ..config import ClusterConfig
+from ..core.policy import create_policy
+from ..des import AllOf, Environment, Event, Process
+from ..metrics.collectors import ClientMetrics, collect_client_metrics
+from ..net.fastpath import ShardWirePort
+from ..pfs.layout import StripeLayout
+from ..pfs.request import StripRequest
+from ..rng import RngFactory
+from ..workloads.ior import spawn_ior_processes
+
+__all__ = [
+    "ClientShardRuntime",
+    "ServerShardRuntime",
+    "build_runtime",
+    "AdvanceReply",
+    "INF",
+]
+
+INF = float("inf")
+
+#: (outbox, next local event time, done-at or None, overrun stamps or None,
+#: wall seconds this shard spent computing the window).  The busy time
+#: feeds the coordinator's critical-path accounting: on a single-core
+#: host the bench can still report what a truly parallel execution of
+#: the same windows would have cost.
+AdvanceReply = t.Tuple[
+    t.List[tuple],
+    float,
+    t.Optional[float],
+    t.Optional[t.List[float]],
+    float,
+]
+
+
+def _boundary_deliver(packet: t.Any) -> t.Any:  # pragma: no cover - guard
+    raise AssertionError(
+        "a sharded server must transmit through its ShardWirePort; the "
+        "resource-based deliver path never runs inside a shard"
+    )
+
+
+class ClientShardRuntime:
+    """One or more client nodes (plus their uplinks) on a private calendar."""
+
+    kind = "client"
+
+    def __init__(self, config: ClusterConfig, client_indices: t.Sequence[int]) -> None:
+        self.config = config
+        self.client_indices = tuple(client_indices)
+        env = Environment()
+        self.env = env
+        rngs = RngFactory(config.seed)
+        layout = StripeLayout(config.strip_size, config.n_servers)
+        net = config.network
+        workload = config.workload
+        self.port = ShardWirePort(env)
+        #: Read requests awaiting pickup, as ``("req", t_issue, request)``.
+        self.outbox: list[tuple] = []
+
+        self._nodes: dict[int, ClientNode] = {}
+        self._procs: dict[int, list[Process]] = {}
+        all_procs: list[Process] = []
+        for index in self.client_indices:
+            policy = create_policy(config.policy)
+            node = ClientNode(env, index, config, policy, layout)
+            self._nodes[index] = node
+            uplink = make_client_uplink(env, config, index)
+            node.connect(self._make_submit(uplink))
+            # Same spawn bases and the same name-keyed migration RNG
+            # stream as Simulation.run — byte-identical IOR behaviour.
+            procs = spawn_ior_processes(
+                node,
+                workload,
+                pid_base=index * workload.n_processes,
+                segment_base=index * workload.n_processes,
+                rng=rngs.stream(f"migration_client{index}"),
+            )
+            self._procs[index] = procs
+            all_procs.extend(procs)
+        self._latency = net.latency
+        self._allof: Event = AllOf(env, all_procs)
+        self._done_at: float | None = None
+
+    def _make_submit(self, uplink: t.Any) -> t.Callable[[StripRequest], None]:
+        env = self.env
+        port = self.port
+
+        def submit(request: StripRequest) -> None:
+            if not request.is_write:
+                # The single-calendar run spawns serve() at now + latency;
+                # here the request crosses the boundary and the server
+                # shard spawns it at that exact instant instead.  Attribute
+                # lookup (not a captured local): advance() rebinds outbox
+                # when draining it.
+                self.outbox.append(("req", env.now, request))
+                return
+            env.process(
+                port.transmit_to_server(uplink, request.size, request),
+                quiet=True,
+            )
+
+        return submit
+
+    def initial_peek(self) -> float:
+        return self.env.peek()
+
+    def advance(self, bound: float, deliveries: t.Sequence[tuple]) -> AdvanceReply:
+        started = time.perf_counter()
+        env = self.env
+        for _kind, _gen, arrival, packet in deliveries:
+            # The tail of WireFastPath.transmit_to_client, replayed at the
+            # barrier: admit may run early because fabric departures (and
+            # hence NIC arrivals) are globally monotone across windows.
+            node = self._nodes[packet.dst_client]
+            nic = node.nic
+            done = nic.admit(packet.size, arrival)
+            env.call_at(done, nic.complete_rx, packet)
+        if self._done_at is None:
+            if env.run_window(bound, stop=self._allof):
+                # Stop exactly at the AllOf dispatch, as run(until=AllOf)
+                # does; residual calendar entries are never dispatched.
+                self._done_at = env.now
+        outbox = self.outbox + self.port.outbox
+        self.outbox = []
+        self.port.outbox = []
+        peek = INF if self._done_at is not None else env.peek()
+        busy = time.perf_counter() - started
+        return outbox, peek, self._done_at, None, busy
+
+    def finalize(self, t_end: float) -> tuple:
+        env = self.env
+        # Metrics sample time-weighted monitors at env.now; the global end
+        # time is what the single calendar would read there.
+        if t_end > env._now:
+            env._now = t_end
+        rows: list[tuple[int, ClientMetrics, int]] = []
+        for index in self.client_indices:
+            procs = self._procs[index]
+            bytes_read = sum(int(proc.value) for proc in procs)
+            rows.append(
+                (
+                    index,
+                    collect_client_metrics(self._nodes[index], t_end, bytes_read),
+                    bytes_read,
+                )
+            )
+        return ("client", rows, env.events_processed)
+
+
+class ServerShardRuntime:
+    """A group of I/O servers (plus uplinks) on a private calendar."""
+
+    kind = "server"
+
+    def __init__(self, config: ClusterConfig, server_indices: t.Sequence[int]) -> None:
+        self.config = config
+        self.server_indices = tuple(server_indices)
+        env = Environment()
+        self.env = env
+        rngs = RngFactory(config.seed)
+        sais_enabled = create_policy(config.policy).requires_hints
+        self.port = ShardWirePort(env)
+        self._servers: dict[int, t.Any] = {}
+        for index in self.server_indices:
+            uplink = make_server_uplink(env, config, index)
+            self._servers[index] = make_server(
+                env,
+                config,
+                index,
+                uplink,
+                _boundary_deliver,
+                rngs.stream(f"server{index}"),
+                sais_enabled,
+                fastpath=self.port,
+            )
+        # Write runs leave asynchronous disk-flush tails on the calendar;
+        # the final window may dispatch tails past the global end time the
+        # single calendar never reached.  Stamping (one float append per
+        # event) lets the coordinator discount them; read runs go idle
+        # before the clients finish, so they skip the cost entirely.
+        self._stamp: list[float] | None = (
+            [] if config.workload.operation == "write" else None
+        )
+
+    def initial_peek(self) -> float:
+        return self.env.peek()
+
+    def advance(self, bound: float, deliveries: t.Sequence[tuple]) -> AdvanceReply:
+        started = time.perf_counter()
+        env = self.env
+        for item in deliveries:
+            kind, when = item[0], item[2]
+            request = item[3]
+            server = self._servers[request.server]
+            if kind == "serve":
+                env.process(server.serve(request), quiet=True, start_at=when)
+            else:
+                env.process(
+                    server.serve_write(request), quiet=True, start_at=when
+                )
+        stamp = self._stamp
+        if stamp is not None:
+            stamp.clear()
+        env.run_window(bound, stamp=stamp)
+        outbox = self.port.outbox
+        self.port.outbox = []
+        stamps = list(stamp) if stamp is not None else None
+        busy = time.perf_counter() - started
+        return outbox, env.peek(), None, stamps, busy
+
+    def finalize(self, t_end: float) -> tuple:
+        env = self.env
+        if t_end > env._now:
+            env._now = t_end
+        return ("server", env.events_processed)
+
+
+def build_runtime(
+    config: ClusterConfig, kind: str, indices: t.Sequence[int]
+) -> "ClientShardRuntime | ServerShardRuntime":
+    """Construct one shard's runtime from its picklable spec."""
+    if kind == "client":
+        return ClientShardRuntime(config, indices)
+    if kind == "server":
+        return ServerShardRuntime(config, indices)
+    raise ValueError(f"unknown shard kind {kind!r}")

@@ -1,0 +1,168 @@
+"""Shard transports: who executes a shard's windows, and where.
+
+``inproc``
+    The coordinator constructs every runtime in its own process and
+    drives them synchronously.  No parallelism — used by the equivalence
+    tests (bit-identical by construction, zero spawn cost) and as the
+    automatic fallback when worker processes cannot be spawned.
+
+``mp``
+    One ``multiprocessing`` worker per shard, speaking the windowed
+    protocol over a duplex pipe.  The coordinator posts ``advance`` to
+    every worker before collecting any reply, so shard windows execute
+    concurrently; the per-round synchronization cost is one pipe
+    round-trip, amortized over every event in the window.
+
+Both transports run the identical runtime code, so they produce the
+identical bytes; only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import typing as t
+
+from ..config import ClusterConfig
+from ..errors import SimulationError
+from .plan import ShardPlan
+from .runtime import build_runtime
+
+__all__ = ["start_shards"]
+
+
+class _InprocHandle:
+    """Synchronous handle: the runtime lives in the coordinator process."""
+
+    def __init__(self, runtime: t.Any) -> None:
+        self.runtime = runtime
+        self.kind = runtime.kind
+        self._reply: t.Any = None
+
+    def initial_peek(self) -> float:
+        return self.runtime.initial_peek()
+
+    def post_advance(self, bound: float, deliveries: list) -> None:
+        self._reply = self.runtime.advance(bound, deliveries)
+
+    def post_finalize(self, t_end: float) -> None:
+        self._reply = self.runtime.finalize(t_end)
+
+    def recv(self) -> t.Any:
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(
+    conn: t.Any, config: ClusterConfig, kind: str, indices: tuple[int, ...]
+) -> None:
+    """Worker loop: build the runtime, then serve windowed commands."""
+    try:
+        runtime = build_runtime(config, kind, indices)
+        conn.send(("ok", runtime.initial_peek()))
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                conn.send(("ok", runtime.advance(msg[1], msg[2])))
+            elif cmd == "finalize":
+                conn.send(("ok", runtime.finalize(msg[1])))
+            elif cmd == "stop":
+                break
+    except EOFError:  # coordinator died; nothing to report to
+        pass
+    except BaseException as exc:  # noqa: BLE001 - forwarded to coordinator
+        import traceback
+
+        try:
+            conn.send(("error", f"{exc!r}\n{traceback.format_exc()}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class _MpHandle:
+    """One worker process driven over a duplex pipe."""
+
+    def __init__(
+        self,
+        ctx: t.Any,
+        config: ClusterConfig,
+        kind: str,
+        indices: tuple[int, ...],
+    ) -> None:
+        self.kind = kind
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, config, kind, indices),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+
+    def initial_peek(self) -> float:
+        return self.recv()
+
+    def post_advance(self, bound: float, deliveries: list) -> None:
+        self._conn.send(("advance", bound, deliveries))
+
+    def post_finalize(self, t_end: float) -> None:
+        self._conn.send(("finalize", t_end))
+
+    def recv(self) -> t.Any:
+        try:
+            tag, payload = self._conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard worker ({self.kind}) exited without a reply"
+            ) from None
+        if tag == "error":
+            raise SimulationError(f"shard worker ({self.kind}) failed:\n{payload}")
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self._conn.close()
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.terminate()
+            self._proc.join(timeout=5.0)
+
+
+def _specs(plan: ShardPlan) -> list[tuple[str, tuple[int, ...]]]:
+    return [("client", group) for group in plan.client_groups] + [
+        ("server", group) for group in plan.server_groups
+    ]
+
+
+def start_shards(
+    config: ClusterConfig, plan: ShardPlan, transport: str
+) -> tuple[list[t.Any], list[float]]:
+    """Start every shard on ``transport``; returns (handles, initial peeks).
+
+    A failure to spawn workers (restricted environments) falls back to
+    the in-process transport rather than failing the run — the bytes are
+    the same either way.
+    """
+    if transport == "mp":
+        try:
+            ctx = mp.get_context()
+            handles: list[t.Any] = [
+                _MpHandle(ctx, config, kind, indices)
+                for kind, indices in _specs(plan)
+            ]
+            return handles, [handle.initial_peek() for handle in handles]
+        except (OSError, ValueError):
+            pass  # fall through to inproc
+    handles = [
+        _InprocHandle(build_runtime(config, kind, indices))
+        for kind, indices in _specs(plan)
+    ]
+    return handles, [handle.initial_peek() for handle in handles]

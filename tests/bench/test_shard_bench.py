@@ -1,0 +1,122 @@
+"""Sharded bench entries: suite shape, run_entry plumbing, and the
+committed-trajectory guarantees (event parity + projected speedup)."""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.bench.runner import run_entry
+from repro.bench.suite import bench_entries, entry_by_name
+
+
+@pytest.fixture
+def repo_root(request):
+    return request.config.rootpath
+
+
+def _sharded_trajectory(repo_root):
+    """The newest committed payload that carries sharded entries."""
+    payloads = [
+        json.loads(path.read_text())
+        for path in repo_root.glob("BENCH_*.json")
+    ]
+    sharded = [
+        p
+        for p in payloads
+        if any(e.get("shards", 0) > 1 for e in p["entries"])
+    ]
+    assert sharded, "no committed BENCH_*.json carries sharded entries"
+    return max(sharded, key=lambda p: p["created"])
+
+
+class TestSuiteShape:
+    def test_shard_twin_is_quick(self):
+        entry = entry_by_name("shard2_mtu1500_read")
+        assert entry.quick
+        assert entry.shards == 2
+
+    def test_fanin_pair_is_full_only(self):
+        quick = {e.name for e in bench_entries("quick")}
+        full = {e.name for e in bench_entries("full")}
+        pair = {"fanin_multiclient", "fanin_multiclient_shard5"}
+        assert pair <= full
+        assert not (pair & quick)
+
+    def test_fanin_pair_shares_one_config(self):
+        single = entry_by_name("fanin_multiclient")
+        sharded = entry_by_name("fanin_multiclient_shard5")
+        assert single.config == sharded.config
+        assert single.shards == 0
+        assert sharded.shards == 5
+
+    def test_shard_twin_matches_its_single_point(self):
+        assert (
+            entry_by_name("shard2_mtu1500_read").config
+            == entry_by_name("mtu1500_read").config
+        )
+
+
+class TestRunEntryShards:
+    def _micro_sharded(self):
+        return dataclasses.replace(
+            entry_by_name("micro_read"), name="micro_shard2", shards=2
+        )
+
+    def test_sharded_entry_records_the_protocol_columns(self):
+        single, _ = run_entry(entry_by_name("micro_read"))
+        record, _ = run_entry(self._micro_sharded())
+        assert record.shards == 2
+        assert record.rounds > 0
+        assert record.critical_path_s >= 0.0
+        assert record.projected_wall_s > 0.0
+        # The headline guarantee, at bench level: same model events.
+        assert record.events_processed == single.events_processed
+
+    def test_unsharded_entry_ignores_ambient_request(self, monkeypatch):
+        """A plain entry must measure the single calendar even when the
+        surrounding process (say, a sharded CI leg) exported
+        REPRO_SHARDS — otherwise trajectory walls are incomparable."""
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        record, _ = run_entry(entry_by_name("micro_read"))
+        assert record.shards == 0
+        assert record.rounds == 0
+        # run_entry restores the caller's environment afterwards.
+        assert os.environ["REPRO_SHARDS"] == "2"
+
+
+class TestCommittedTrajectory:
+    """Pins on the checked-in BENCH_*.json record, mirroring what the
+    acceptance bar demands of the sharded runs."""
+
+    def test_shard_twin_event_parity(self, repo_root):
+        payload = _sharded_trajectory(repo_root)
+        entries = {e["name"]: e for e in payload["entries"]}
+        assert (
+            entries["shard2_mtu1500_read"]["events_processed"]
+            == entries["mtu1500_read"]["events_processed"]
+        )
+        assert (
+            entries["fanin_multiclient_shard5"]["events_processed"]
+            == entries["fanin_multiclient"]["events_processed"]
+        )
+
+    def test_fanin_projected_speedup_at_least_1_5x(self, repo_root):
+        payload = _sharded_trajectory(repo_root)
+        entries = {e["name"]: e for e in payload["entries"]}
+        single = entries["fanin_multiclient"]["wall_time_s"]
+        projected = entries["fanin_multiclient_shard5"]["projected_wall_s"]
+        assert projected > 0.0
+        assert single / projected >= 1.5
+
+    def test_fanin_wall_speedup_on_multicore_hosts(self, repo_root):
+        """The wall-clock form of the same gate — only meaningful when
+        the recording host could actually run shards in parallel."""
+        payload = _sharded_trajectory(repo_root)
+        if payload.get("cpu_count", 1) <= 2:
+            pytest.skip("trajectory recorded on a <=2-core host")
+        entries = {e["name"]: e for e in payload["entries"]}
+        single = entries["fanin_multiclient"]["wall_time_s"]
+        sharded = entries["fanin_multiclient_shard5"]["wall_time_s"]
+        assert single / sharded >= 1.5

@@ -44,6 +44,26 @@ def test_quick_scale_snapshot(exp_id, update_goldens):
 
 
 @pytest.mark.parametrize("exp_id", all_experiment_ids())
+def test_quick_scale_snapshot_sharded(exp_id, monkeypatch):
+    """The determinism tier's sharded leg: every quick-scale golden,
+    re-run on two coupled shard calendars, must be byte-identical to the
+    committed snapshot (see ``repro.shard``).  Ineligible points (the
+    resilience sweeps run fault plans) exercise the graceful fallback,
+    which is the CLI contract for ``--shards`` + faults."""
+    path = _golden_path(exp_id)
+    if not path.exists():
+        pytest.skip("golden not generated yet")
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    monkeypatch.setenv("REPRO_SHARD_TRANSPORT", "inproc")
+    payload = run_experiment_by_id(exp_id, scale="quick").to_dict()
+    golden = json.loads(path.read_text(encoding="utf-8"))
+    assert payload == golden, (
+        f"{exp_id} diverged from its golden under --shards 2 — the "
+        "sharded calendar is no longer byte-identical to the single one"
+    )
+
+
+@pytest.mark.parametrize("exp_id", all_experiment_ids())
 def test_golden_schema_shape(exp_id):
     """Independent of values: goldens carry the schema the cache relies on."""
     path = _golden_path(exp_id)

@@ -1,0 +1,46 @@
+"""The ``--shards`` CLI flag: parsing, env publication, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _build_parser, _install_shards
+from repro.shard import SHARDS_ENV
+
+
+class TestShardsFlag:
+    def test_run_and_summary_both_take_shards(self):
+        parser = _build_parser()
+        args = parser.parse_args(["run", "fig14_memsim", "--shards", "3"])
+        assert args.shards == 3
+        args = parser.parse_args(["summary", "--shards", "2"])
+        assert args.shards == 2
+
+    def test_default_is_no_sharding(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(["run", "fig14_memsim"])
+        assert args.shards is None
+        _install_shards(args)
+        assert SHARDS_ENV not in __import__("os").environ
+
+    @pytest.mark.parametrize("bad", ["1", "0", "-2", "two"])
+    def test_sub_two_or_malformed_exits_two(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            _build_parser().parse_args(["run", "x", "--shards", bad])
+        assert exc.value.code == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_install_publishes_the_ambient_request(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(["run", "x", "--shards", "4"])
+        _install_shards(args)
+        import os
+
+        assert os.environ[SHARDS_ENV] == "4"
+        monkeypatch.delenv(SHARDS_ENV)
+
+    def test_shards_composes_with_jobs_in_one_invocation(self):
+        args = _build_parser().parse_args(
+            ["run", "all", "--jobs", "4", "--shards", "2"]
+        )
+        assert args.jobs == 4 and args.shards == 2

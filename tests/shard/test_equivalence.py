@@ -1,0 +1,155 @@
+"""Byte-identity of sharded runs against the single calendar.
+
+The headline guarantee of :mod:`repro.shard`: same ``RunMetrics`` floats,
+same (corrected) event count, for every workload shape — read and write,
+one client and many, segmented and strip-train wire, both policies, both
+transports.  The quick-scale golden snapshots re-run under ``--shards 2``
+in ``tests/experiments/test_golden_snapshots.py`` extend this pin to
+every committed experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ClusterConfig, NetworkConfig, WorkloadConfig
+from repro.cluster.simulation import Simulation
+from repro.faults import FaultPlan
+from repro.shard import SHARDS_ENV, TRANSPORT_ENV, run_sharded
+from repro.units import KiB
+
+
+def _small(**overrides) -> ClusterConfig:
+    """A seconds-scale point small enough to run twice per test."""
+    defaults = dict(
+        n_servers=4,
+        network=NetworkConfig(mss=None),
+        workload=WorkloadConfig(
+            n_processes=2,
+            transfer_size=128 * KiB,
+            file_size=256 * KiB,
+            operation="read",
+        ),
+        policy="source_aware",
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def _single(config: ClusterConfig):
+    sim = Simulation(config)
+    metrics = sim.run()
+    return metrics, sim.cluster.env.events_processed, sim
+
+
+def _sharded(config: ClusterConfig, n, monkeypatch, transport="inproc"):
+    monkeypatch.setenv(SHARDS_ENV, str(n))
+    monkeypatch.setenv(TRANSPORT_ENV, transport)
+    sim = Simulation(config)
+    metrics = sim.run()
+    monkeypatch.delenv(SHARDS_ENV)
+    return metrics, sim.cluster.env.events_processed, sim
+
+
+CASES = {
+    "read_striptrain": dict(),
+    "read_mss1500": dict(network=NetworkConfig(mss=1500)),
+    "write": dict(
+        workload=WorkloadConfig(
+            n_processes=2,
+            transfer_size=128 * KiB,
+            file_size=256 * KiB,
+            operation="write",
+        )
+    ),
+    "irqbalance": dict(policy="irqbalance"),
+    "multiclient": dict(n_clients=3),
+}
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("case", sorted(CASES))
+    def test_sharded_equals_single(self, case, monkeypatch):
+        config = _small(**CASES[case])
+        single, single_events, _ = _single(config)
+        sharded, model_events, sim = _sharded(config, 2, monkeypatch)
+        assert sim.shard_outcome is not None, "run did not shard"
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_multiclient_many_shards(self, monkeypatch):
+        config = _small(n_clients=3)
+        single, single_events, _ = _single(config)
+        sharded, model_events, sim = _sharded(config, 4, monkeypatch)
+        assert sim.shard_outcome is not None
+        assert sim.shard_outcome.raw_events != model_events, (
+            "multi-client-shard runs must need the AllOf correction"
+        )
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_write_overrun_correction(self, monkeypatch):
+        """Write runs leave post-end disk-flush tails; the ledger must
+        discount whatever the final window dispatched past t_end."""
+        config = _small(
+            workload=WorkloadConfig(
+                n_processes=2,
+                transfer_size=128 * KiB,
+                file_size=256 * KiB,
+                operation="write",
+            )
+        )
+        single, single_events, _ = _single(config)
+        sharded, model_events, sim = _sharded(config, 2, monkeypatch)
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_mp_transport_is_byte_identical(self, monkeypatch):
+        config = _small()
+        single, single_events, _ = _single(config)
+        sharded, model_events, sim = _sharded(
+            config, 2, monkeypatch, transport="mp"
+        )
+        assert sim.shard_outcome is not None
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_run_sharded_direct_outcome_accounting(self):
+        config = _small()
+        _, single_events, _ = _single(config)
+        outcome = run_sharded(config, 2, transport="inproc")
+        assert outcome.model_events == single_events
+        assert outcome.rounds > 0
+        assert outcome.fabric_packets > 0
+        assert len(outcome.busy_s) == 2
+        assert 0.0 < outcome.critical_path_s <= sum(outcome.busy_s)
+
+
+class TestGracefulFallback:
+    def test_fault_plan_falls_back_to_single_calendar(self, monkeypatch):
+        config = dataclasses.replace(
+            _small(), faults=FaultPlan(loss_prob=0.01)
+        )
+        metrics, _, sim = _sharded(config, 2, monkeypatch)
+        assert sim.shard_outcome is None
+        assert metrics.resilience is not None
+
+    def test_no_shards_env_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SHARDS", "1")
+        _, _, sim = _sharded(_small(), 2, monkeypatch)
+        assert sim.shard_outcome is None
+
+    def test_switch_counters_mirrored(self, monkeypatch):
+        config = _small()
+        single_sim = Simulation(config)
+        single_sim.run()
+        switch = single_sim.cluster.switch
+        _, _, sim = _sharded(config, 2, monkeypatch)
+        assert sim.cluster.switch.bytes_switched.value == (
+            switch.bytes_switched.value
+        )
+        assert sim.cluster.switch.packets_switched.value == (
+            switch.packets_switched.value
+        )

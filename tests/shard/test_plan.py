@@ -1,0 +1,115 @@
+"""Domain assignment, eligibility gating, and the ambient env protocol."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import ClusterConfig, NetworkConfig
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+from repro.shard import (
+    NO_SHARDS_ENV,
+    SHARDS_ENV,
+    TRANSPORT_ENV,
+    plan_shards,
+    shard_block_reason,
+    shards_requested,
+    transport_requested,
+)
+
+
+class TestPlanShards:
+    def test_two_shards_is_clients_vs_servers(self):
+        plan = plan_shards(ClusterConfig(), 2)
+        assert plan.client_groups == ((0,),)
+        assert plan.server_groups == ((0, 1, 2, 3, 4, 5, 6, 7),)
+        assert plan.n_shards == 2
+        assert plan.lookahead == ClusterConfig().network.latency
+
+    def test_multiclient_spreads_clients_servers_stay_together(self):
+        config = ClusterConfig(n_clients=4)
+        plan = plan_shards(config, 5)
+        assert plan.client_groups == ((0,), (1,), (2,), (3,))
+        assert len(plan.server_groups) == 1
+        assert plan.n_shards == 5
+
+    def test_uneven_client_split_is_contiguous(self):
+        plan = plan_shards(ClusterConfig(n_clients=5), 3)
+        assert plan.client_groups == ((0, 1, 2), (3, 4))
+        flat = [c for group in plan.client_groups for c in group]
+        assert flat == list(range(5))
+
+    def test_shard_count_clamped_to_clients_plus_one(self):
+        plan = plan_shards(ClusterConfig(n_clients=2), 10)
+        assert plan.n_shards == 3
+
+    def test_fewer_than_two_shards_rejected(self):
+        with pytest.raises(ConfigError, match="at least 2"):
+            plan_shards(ClusterConfig(), 1)
+
+    def test_zero_lookahead_rejected(self):
+        config = dataclasses.replace(
+            ClusterConfig(), network=NetworkConfig(latency=0.0)
+        )
+        with pytest.raises(ConfigError, match="zero switch latency"):
+            plan_shards(config, 2)
+
+
+class TestShardBlockReason:
+    def test_default_config_is_eligible(self):
+        assert shard_block_reason(ClusterConfig()) is None
+
+    def test_escape_hatch_blocks(self, monkeypatch):
+        monkeypatch.setenv(NO_SHARDS_ENV, "1")
+        assert NO_SHARDS_ENV in shard_block_reason(ClusterConfig())
+
+    def test_span_recorder_blocks(self):
+        assert shard_block_reason(ClusterConfig(), spans=object()) is not None
+
+    def test_strip_tracer_blocks(self):
+        config = dataclasses.replace(ClusterConfig(), trace=True)
+        assert shard_block_reason(config) is not None
+
+    def test_active_fault_plan_blocks_null_plan_does_not(self):
+        active = dataclasses.replace(
+            ClusterConfig(), faults=FaultPlan(loss_prob=0.01)
+        )
+        assert shard_block_reason(active) is not None
+        null = dataclasses.replace(ClusterConfig(), faults=FaultPlan())
+        assert shard_block_reason(null) is None
+
+    def test_slow_wire_path_blocks(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_WIRE_FASTPATH", "1")
+        assert "FASTPATH" in shard_block_reason(ClusterConfig())
+
+    def test_zero_latency_blocks(self):
+        config = dataclasses.replace(
+            ClusterConfig(), network=NetworkConfig(latency=0.0)
+        )
+        assert "lookahead" in shard_block_reason(config)
+
+
+class TestAmbientRequests:
+    def test_unset_means_no_shards(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert shards_requested() == 0
+
+    @pytest.mark.parametrize("raw", ["", "abc", "1", "0", "-3"])
+    def test_malformed_or_sub_two_means_no_shards(self, monkeypatch, raw):
+        monkeypatch.setenv(SHARDS_ENV, raw)
+        assert shards_requested() == 0
+
+    def test_valid_request_passes_through(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert shards_requested() == 4
+
+    @pytest.mark.parametrize("name", ["inproc", "mp"])
+    def test_transport_override(self, monkeypatch, name):
+        monkeypatch.setenv(TRANSPORT_ENV, name)
+        assert transport_requested() == name
+
+    def test_transport_default_is_cpu_dependent(self, monkeypatch):
+        monkeypatch.delenv(TRANSPORT_ENV, raising=False)
+        assert transport_requested() in ("inproc", "mp")

@@ -1,0 +1,207 @@
+"""The conservative-window DES primitives and LBTS barrier edge cases.
+
+``Environment.run_window`` / ``schedule_at`` / ``process(start_at=...)``
+exist solely for :mod:`repro.shard`; these tests pin the semantics the
+coordinator's safety argument rests on (strict bound, stop-flag
+hygiene, ulp-exact absolute scheduling) plus the protocol edge cases:
+zero-lookahead rejection, a shard whose calendar starts empty, and
+same-instant cross-shard ties.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ClusterConfig
+from repro.des import Environment
+from repro.errors import SimulationError
+from repro.pfs.request import StripRequest
+from repro.shard import plan_shards, run_plan
+from repro.shard.coordinator import _delivery_key, _fabric_key
+from repro.shard.runtime import INF, ServerShardRuntime
+
+
+def _tick(env, log, delay, label):
+    yield env.timeout(delay)
+    log.append((env.now, label))
+
+
+class TestRunWindow:
+    def test_bound_is_strict(self):
+        env = Environment()
+        log = []
+        for delay in (1.0, 2.0, 3.0):
+            env.process(_tick(env, log, delay, delay), quiet=True)
+        env.run_window(2.0)
+        assert [entry[1] for entry in log] == [1.0]
+        # The clock stays on the last dispatched event, not the bound.
+        assert env.now < 2.0
+        assert env.peek() == 2.0
+
+    def test_stop_event_halts_the_window(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 1.0, "stop"), quiet=True)
+        env.process(_tick(env, log, 2.0, "late"), quiet=True)
+        assert env.run_window(10.0, stop=stopper) is True
+        assert env.now == 1.0
+        # The event behind the stop was never dispatched.
+        assert [entry[1] for entry in log] == ["stop"]
+
+    def test_processed_stop_returns_true_immediately(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 1.0, "stop"), quiet=True)
+        env.run_window(10.0, stop=stopper)
+        before = env.events_processed
+        assert env.run_window(20.0, stop=stopper) is True
+        assert env.events_processed == before
+
+    def test_unfired_stop_leaves_no_dangling_subscription(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 5.0, "stop"), quiet=True)
+        n_callbacks = len(stopper.callbacks)
+        assert env.run_window(1.0, stop=stopper) is False
+        assert len(stopper.callbacks) == n_callbacks
+
+    def test_stamp_records_dispatch_timestamps(self):
+        env = Environment()
+        log = []
+        for delay in (1.0, 2.0):
+            env.process(_tick(env, log, delay, delay), quiet=True)
+        stamp: list[float] = []
+        env.run_window(5.0, stamp=stamp)
+        # Two spawn events at t=0, then the two timeouts.
+        assert stamp == [0.0, 0.0, 1.0, 2.0]
+
+    def test_events_processed_counts_window_dispatches(self):
+        env = Environment()
+        log = []
+        env.process(_tick(env, log, 1.0, "a"), quiet=True)
+        before = env.events_processed
+        env.run_window(2.0)
+        assert env.events_processed == before + 2  # spawn + timeout
+
+    def test_empty_calendar_is_a_quiet_no_op(self):
+        env = Environment()
+        assert env.run_window(100.0) is False
+        assert env.events_processed == 0
+        assert env.peek() == INF
+
+
+class TestAbsoluteScheduling:
+    def test_schedule_at_preserves_the_exact_float(self):
+        env = Environment()
+        when = 0.1 + 0.2  # famously not 0.3
+        event = env.event()
+        event._ok = True
+        event._value = None
+        env.schedule_at(event, when)
+        assert env.peek() == when
+
+    def test_schedule_at_rejects_the_past(self):
+        env = Environment()
+        env._now = 5.0
+        event = env.event()
+        event._ok = True
+        with pytest.raises(SimulationError, match="before now"):
+            env.schedule_at(event, 4.0)
+
+    def test_schedule_at_rejects_processed_events(self):
+        env = Environment()
+        event = env.event()
+        event.callbacks = None
+        with pytest.raises(SimulationError, match="already been processed"):
+            env.schedule_at(event, 1.0)
+
+    def test_process_start_at_fires_at_that_instant(self):
+        env = Environment()
+        log = []
+        env.process(_tick(env, log, 0.5, "x"), start_at=2.0, quiet=True)
+        env.run()
+        assert log == [(2.5, "x")]
+
+    def test_start_at_and_start_delay_are_exclusive(self):
+        env = Environment()
+        log = []
+        with pytest.raises(SimulationError, match="mutually exclusive"):
+            env.process(
+                _tick(env, log, 1.0, "x"), start_delay=1.0, start_at=2.0
+            )
+
+
+class TestBarrierEdgeCases:
+    def test_zero_lookahead_is_rejected_not_deadlocked(self):
+        import dataclasses
+
+        from repro.config import NetworkConfig
+        from repro.errors import ConfigError
+
+        config = dataclasses.replace(
+            ClusterConfig(), network=NetworkConfig(latency=0.0)
+        )
+        with pytest.raises(ConfigError):
+            plan_shards(config, 2)
+
+    def test_server_shard_starts_with_an_empty_calendar(self):
+        """Read runs give the server shard nothing until the first
+        delivery; an empty calendar must advance quietly, not wedge."""
+        runtime = ServerShardRuntime(ClusterConfig(), range(8))
+        assert runtime.initial_peek() == INF
+        outbox, peek, done_at, stamps, busy = runtime.advance(1.0, [])
+        assert outbox == []
+        assert peek == INF
+        assert done_at is None
+        assert busy >= 0.0
+
+    def test_all_idle_and_nothing_in_flight_is_a_deadlock_error(self):
+        plan = plan_shards(ClusterConfig(), 2)
+        with pytest.raises(SimulationError, match="deadlock"):
+            run_plan(ClusterConfig(), plan, [None, None], [INF, INF])
+
+
+class TestTieOrdering:
+    """Same-instant cross-shard handoffs must reproduce the single
+    calendar's event-id order (DESIGN.md section 10)."""
+
+    def _req(self, client, strip, server=0, size=1024, is_write=True):
+        return StripRequest(
+            request_id=0,
+            client=client,
+            server=server,
+            strip_id=strip,
+            offset=0,
+            size=size,
+            is_write=is_write,
+        )
+
+    def test_fabric_tie_orders_data_before_write_strips(self):
+        wire = ("wire", 1.0, 0.5, self._req(0, 7, is_write=False))
+        write = ("write", 1.0, 0.5, self._req(0, 3))
+        assert _fabric_key(wire) < _fabric_key(write)
+
+    def test_fabric_write_ties_order_by_client_then_strip(self):
+        recs = [
+            ("write", 1.0, 0.5, self._req(1, 9)),
+            ("write", 1.0, 0.5, self._req(0, 12)),
+            ("write", 1.0, 0.5, self._req(0, 4)),
+        ]
+        recs.sort(key=_fabric_key)
+        assert [(r[3].client, r[3].strip_id) for r in recs] == [
+            (0, 4), (0, 12), (1, 9),
+        ]
+
+    def test_fabric_wire_ties_preserve_arrival_order(self):
+        """Server-shard departures tie-break by outbox order — the key
+        stops at (departure, grant), so Python's stable sort keeps them."""
+        first = ("wire", 1.0, 0.5, self._req(0, 20, is_write=False))
+        second = ("wire", 1.0, 0.5, self._req(0, 5, is_write=False))
+        recs = [first, second]
+        recs.sort(key=_fabric_key)
+        assert recs == [first, second]
+
+    def test_delivery_ties_order_by_generation_instant(self):
+        early_gen = ("serve", 0.5, 2.0, self._req(0, 8, is_write=False))
+        late_gen = ("serve", 1.0, 2.0, self._req(0, 1, is_write=False))
+        assert _delivery_key(early_gen) < _delivery_key(late_gen)

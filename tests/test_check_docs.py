@@ -1,0 +1,74 @@
+"""The docs hygiene checker itself: clean on this tree, and actually
+able to detect each problem class (a checker that can't fail is
+decoration)."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[1] / "scripts" / "check_docs.py"
+)
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location("check_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_repo_docs_are_clean(check_docs, capsys):
+    assert check_docs.main() == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_flag_regex_finds_flags_not_dashes(check_docs):
+    found = check_docs.FLAG_RE.findall(
+        "run with `--shards 2` — not --made-up; em—dash and c2c-rate stay out"
+    )
+    assert found == ["--shards", "--made-up"]
+
+
+def test_every_doc_flag_check_detects_unknowns(check_docs, tmp_path, monkeypatch):
+    rogue = tmp_path / "ROGUE.md"
+    rogue.write_text("pass `--definitely-not-a-flag` here\n", encoding="utf-8")
+    monkeypatch.setattr(check_docs, "ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", ["ROGUE.md"])
+    problems: list[str] = []
+    check_docs.check_flags(problems)
+    assert problems and "--definitely-not-a-flag" in problems[0]
+
+
+def test_link_check_detects_missing_targets(check_docs, tmp_path, monkeypatch):
+    doc = tmp_path / "DOC.md"
+    doc.write_text(
+        "[ok](DOC.md) [gone](missing/file.md) [web](https://x.y/)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.setattr(check_docs, "ROOT", tmp_path)
+    monkeypatch.setattr(check_docs, "DOC_FILES", ["DOC.md"])
+    problems: list[str] = []
+    check_docs.check_links(problems)
+    assert problems == ["DOC.md: broken link -> missing/file.md"]
+
+
+def test_api_coverage_detects_an_undocumented_subsystem(
+    check_docs, tmp_path, monkeypatch
+):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "API.md").write_text(
+        "only repro.des here\n", encoding="utf-8"
+    )
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "des").mkdir()
+    (pkg / "newthing").mkdir()
+    monkeypatch.setattr(check_docs, "ROOT", tmp_path)
+    problems: list[str] = []
+    check_docs.check_api_coverage(problems)
+    assert problems == ["docs/API.md: subsystem repro.newthing not mentioned"]
