@@ -30,6 +30,7 @@ import sys
 import typing as t
 
 from . import __version__
+from .core.policy import available_policies
 from .errors import ConfigError, ReproError
 from .experiments import all_experiment_ids
 from .experiments.base import SCALES
@@ -266,7 +267,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help=(
             "interrupt policy for the traced run (default: irqbalance — "
-            "source_aware traces contain no migration edges by design)"
+            "source_aware traces contain no migration edges by design); "
+            "one of: " + ", ".join(available_policies())
         ),
     )
     trace.add_argument(

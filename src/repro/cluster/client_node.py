@@ -16,7 +16,6 @@ from __future__ import annotations
 import typing as t
 
 from ..config import ClusterConfig
-from ..core.policies import SourceAwareProcessPolicy
 from ..core.policy import InterruptSchedulingPolicy
 from ..core.sais import HintMessager, IMComposer, SrcParser
 from ..des import Environment
@@ -150,8 +149,16 @@ class ClientNode:
         # The NIC exists before the PFS client (the APIC chain builds
         # first), so the wire-order tripwire is attached here.
         self.nic.rx_observer = self.pfs.observe_wire
-        if isinstance(policy, SourceAwareProcessPolicy):
-            policy.set_process_locator(self.pfs.locate_request)
+        # Any policy consulting the kernel's notion of "where does this
+        # request's process run now" (source_aware_process, rps_rfs,
+        # rdma_zerointr) gets the live locator.
+        locator_hook = getattr(policy, "set_process_locator", None)
+        if locator_hook is not None:
+            locator_hook(self.pfs.locate_request)
+        if policy.interrupt_free:
+            # RDMA-style bypass: the NIC places completions directly and
+            # never raises an interrupt — no APIC, no softirq.
+            self.nic.zero_interrupt_sink = self._rdma_place
 
         self.daemons = [
             SoftirqDaemon(
@@ -162,6 +169,7 @@ class ClientNode:
                 self.pfs,
                 spans=spans,
                 obs_track=core_tracks[core.index],
+                interconnect=self.interconnect,
             )
             for core in self.cores
         ]
@@ -178,7 +186,30 @@ class ClientNode:
             raise RuntimeError(
                 f"client {self.index} is not connected to any servers"
             )
+        if request.issuing_core is not None:
+            # ATR-style TX sampling: steering hardware that watches
+            # outbound traffic (flow_director) learns flow -> core here.
+            self.policy.observe_tx(request.server, request.issuing_core)
         self._submit(request)
+
+    def _rdma_place(self, packet) -> None:
+        """Zero-interrupt completion: DMA the payload where it belongs.
+
+        Called by the NIC instead of raising an interrupt.  The strip
+        lands directly in the *consumer's* cache (DDIO into the right
+        LLC slice), so the merge is always a local copy — the paper's
+        entire migration tax disappears along with the interrupts.
+        """
+        target = self.policy.placement_core(packet, len(self.cores))
+        outstanding = self.pfs.segment_arrived(packet, target)
+        if outstanding is None:
+            return
+        if packet.carries_data:
+            self.cache.install(target, packet.strip_id)
+        if self.tracer is not None:
+            self.tracer.record(
+                packet.dst_client, packet.strip_id, "handled", self.env.now
+            )
 
     # -- application-visible read path ----------------------------------------
 
@@ -362,6 +393,26 @@ class ClientNode:
                 daemon.handled,
                 labels={"core": daemon.core.index},
             )
+            registry.register_counter(
+                f"{prefix}.softirq{daemon.core.index}.steered",
+                daemon.steered,
+                labels={"core": daemon.core.index},
+            )
+        registry.register_probe(
+            f"{prefix}.tcp.out_of_order_segments",
+            lambda: self.pfs.out_of_order_segments,
+        )
+        registry.register_probe(
+            f"{prefix}.tcp.dup_acks", lambda: self.pfs.dup_acks
+        )
+        registry.register_probe(
+            f"{prefix}.tcp.fast_retransmits",
+            lambda: self.pfs.fast_retransmits,
+        )
+        registry.register_probe(
+            f"{prefix}.steering.flow_migrations",
+            lambda: getattr(self.policy, "flow_migrations", 0),
+        )
         registry.register_probe(
             f"{prefix}.cache.miss_rate", self.cache.miss_rate
         )

@@ -101,6 +101,10 @@ class CostModel:
     #: Cost for the application to issue one PFS request (syscall + client
     #: fan-out bookkeeping).
     request_issue_cost: float = 5.0 * USEC
+    #: RPS/RFS cross-core handoff: flow-table lookup + enqueue onto the
+    #: remote core's backlog, paid on the hardware-IRQ core before the
+    #: interconnect IPI (rps_rfs policy only).
+    rps_dispatch_cost: float = 1.0 * USEC
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
@@ -349,6 +353,15 @@ class ClusterConfig:
         _positive("strip_size", self.strip_size)
         if not self.policy:
             raise ConfigError("policy name must be non-empty")
+        # Validate against the live registry so a typo fails at config
+        # construction (CLI, trace runs, experiment grids) rather than
+        # deep inside cluster build.  Imported lazily: repro.core pulls
+        # in modules that import this one.
+        from .core import policies as _policies  # noqa: F401  (registers)
+        from .core.policy import available_policies, unknown_policy_error
+
+        if self.policy not in available_policies():
+            raise unknown_policy_error(self.policy)
 
     def with_policy(self, policy: str) -> "ClusterConfig":
         """A copy of this config under a different interrupt policy."""

@@ -16,9 +16,13 @@ from .analysis_sweep import AnalysisGrid, evaluate_grid
 from .policies import (
     AdaptiveSourceAwarePolicy,
     DedicatedPolicy,
+    FlowDirectorPolicy,
     IrqbalancePolicy,
     LeastLoadedPolicy,
+    RdmaZeroInterruptPolicy,
     RoundRobinPolicy,
+    RpsRfsPolicy,
+    RssPolicy,
     SourceAwarePolicy,
     SourceAwareProcessPolicy,
 )
@@ -26,15 +30,19 @@ from .policy import (
     InterruptSchedulingPolicy,
     available_policies,
     create_policy,
+    list_policies,
     register_policy,
+    unregister_policy,
 )
 from .sais import HintCapsuler, HintMessager, IMComposer, SrcParser
 
 __all__ = [
     "InterruptSchedulingPolicy",
     "register_policy",
+    "unregister_policy",
     "create_policy",
     "available_policies",
+    "list_policies",
     "RoundRobinPolicy",
     "AdaptiveSourceAwarePolicy",
     "DedicatedPolicy",
@@ -42,6 +50,10 @@ __all__ = [
     "IrqbalancePolicy",
     "SourceAwarePolicy",
     "SourceAwareProcessPolicy",
+    "RssPolicy",
+    "FlowDirectorPolicy",
+    "RpsRfsPolicy",
+    "RdmaZeroInterruptPolicy",
     "HintMessager",
     "HintCapsuler",
     "SrcParser",

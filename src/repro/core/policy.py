@@ -25,8 +25,11 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "InterruptSchedulingPolicy",
     "register_policy",
+    "unregister_policy",
     "create_policy",
     "available_policies",
+    "list_policies",
+    "unknown_policy_error",
 ]
 
 _REGISTRY: dict[str, type["InterruptSchedulingPolicy"]] = {}
@@ -41,6 +44,11 @@ class InterruptSchedulingPolicy(abc.ABC):
     #: client, HintCapsuler on the servers, SrcParser in the NIC driver) to
     #: be installed for it to see ``aff_core_id``.
     requires_hints: t.ClassVar[bool] = False
+    #: True if the policy removes interrupts from the receive path entirely
+    #: (RDMA-style NIC-driven placement).  The client wires the NIC's
+    #: zero-interrupt sink instead of the APIC chain; ``select_core`` is
+    #: then only reached on stacks wired without the bypass.
+    interrupt_free: t.ClassVar[bool] = False
 
     def __init__(self) -> None:
         self.ioapic: "IoApic | None" = None
@@ -54,6 +62,15 @@ class InterruptSchedulingPolicy(abc.ABC):
         self, ctx: "InterruptContext", cores: t.Sequence["Core"]
     ) -> int:
         """Return the index of the core that should handle ``ctx``."""
+
+    def observe_tx(self, server: int, core: int) -> None:
+        """Transmit-side sampling hook (Flow Director ATR).
+
+        Called by the client for every outbound strip request with the
+        flow identity (the per-server TCP connection) and the core the
+        requesting process issued from.  Policies without NIC-side flow
+        tables ignore it.
+        """
 
     def enable_degraded_fallback(self) -> None:
         """Arm the policy's graceful-degradation path, if it has one.
@@ -79,17 +96,42 @@ def register_policy(
     return cls
 
 
+def unregister_policy(name: str) -> None:
+    """Remove a policy from the registry (test isolation hook).
+
+    Tests that register throwaway policies must unregister them in a
+    ``finally`` block, or the registry-dynamic steering experiments (and
+    their goldens) see the leftover name.
+    """
+    _REGISTRY.pop(name, None)
+
+
+def unknown_policy_error(name: str) -> ConfigError:
+    """The uniform unknown-policy error every entry point raises.
+
+    Config validation, ``create_policy`` and the CLI ``--policy`` paths
+    all funnel through this so the message format — including the full
+    list of registered names — stays identical everywhere (the format is
+    locked by ``tests/core/test_policy_invariants.py``).
+    """
+    return ConfigError(
+        f"unknown policy {name!r}; available: {', '.join(available_policies())}"
+    )
+
+
 def create_policy(name: str, **kwargs: t.Any) -> InterruptSchedulingPolicy:
     """Instantiate a registered policy by name."""
     try:
         cls = _REGISTRY[name]
     except KeyError:
-        raise ConfigError(
-            f"unknown policy {name!r}; available: {sorted(_REGISTRY)}"
-        ) from None
+        raise unknown_policy_error(name) from None
     return cls(**kwargs)
 
 
 def available_policies() -> list[str]:
     """Sorted names of all registered policies."""
     return sorted(_REGISTRY)
+
+
+#: Alias used by parameterized test suites and CLI help text.
+list_policies = available_policies

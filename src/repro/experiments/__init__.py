@@ -34,6 +34,15 @@ degradation on a faulty fabric (see :mod:`repro.faults`):
 ``resilience_straggler_sweep``   bandwidth retention with one slow /
                                  transiently-failing I/O server
 ==============================  ==========================================
+
+The steering sweeps pit every registered policy — including the modern
+NIC-steering schemes (rss, flow_director, rps_rfs, rdma_zerointr) —
+against each other (see :mod:`repro.experiments.steering`):
+
+==============================  ==========================================
+``steering_comparison``          all registered policies, Fig. 5 point
+``steering_reorder_pathology``   Flow Director ATR reordering vs RSS
+==============================  ==========================================
 """
 
 from .base import (
@@ -56,6 +65,7 @@ from . import (  # noqa: E402,F401  (registration side effects)
     fig14_memsim,
     resilience,
     sec3_model,
+    steering,
 )
 
 __all__ = [

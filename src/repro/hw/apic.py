@@ -43,6 +43,12 @@ class InterruptContext:
     #: issued (used by oracle/ablation policies, not available to real
     #: hardware without SAIs' hint).
     request_core: int | None = None
+    #: Set by RPS/RFS-style policies: the core the handling softirq
+    #: should *re-steer* the protocol work to after the hardirq half
+    #: (the hardware delivered to one fixed core; software moves the
+    #: rest of the work to the flow's consumer).  None for policies
+    #: that place the interrupt directly.
+    rps_target: int | None = None
     #: When set, this is a NAPI poll request: the handling core should
     #: drain the NIC's pending queue (via ``napi_poll``) rather than
     #: process only ``packet``.  ``packet`` is the train head that

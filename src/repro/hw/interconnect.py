@@ -36,6 +36,10 @@ class InterconnectBus:
         self.wait_time = Counter("migration_wait")
         #: Instantaneous queue depth (for diagnostics).
         self.queue_depth = TimeWeighted(env, 0.0)
+        #: Small cross-core control messages carried (RPS/RFS softirq
+        #: handoffs) — deliberately separate from :attr:`migrations`,
+        #: which counts only strip-data transfers.
+        self.signals = Counter("interconnect_signals")
         self._busy_total = 0.0
 
     def acquire(self):
@@ -80,6 +84,22 @@ class InterconnectBus:
             yield grant
             yield from self.transfer_locked(nbytes, rate)
 
+    def signal(self) -> t.Generator:
+        """One small inter-processor control message (an RPS/RFS IPI).
+
+        Costs a single coherence round trip (``c2c_latency``) and rides
+        the same serialized path as strip transfers — but is counted in
+        :attr:`signals`, never in :attr:`migrations`, and bypasses the
+        queue-wait instrumentation so ``migration_wait`` keeps measuring
+        strip traffic only.
+        """
+        with self._bus.request() as req:
+            yield req
+            duration = self.costs.c2c_latency
+            yield self.env.timeout(duration)
+            self._busy_total += duration
+            self.signals.add()
+
     @property
     def total_busy_time(self) -> float:
         """Seconds of pure transfer time carried so far (excludes waits)."""
@@ -88,6 +108,7 @@ class InterconnectBus:
     def register_metrics(self, registry: t.Any, prefix: str) -> None:
         """Expose the bus instruments in a :class:`MetricsRegistry`."""
         registry.register_counter(f"{prefix}.migrations", self.migrations)
+        registry.register_counter(f"{prefix}.signals", self.signals)
         registry.register_counter(f"{prefix}.bytes_moved", self.bytes_moved)
         registry.register_counter(f"{prefix}.wait_time", self.wait_time)
         registry.register_time_weighted(

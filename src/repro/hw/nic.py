@@ -73,6 +73,12 @@ class Nic:
         self.composer = composer
         #: Optional per-strip lifecycle tracer.
         self.tracer = tracer
+        #: Zero-interrupt receive sink (RDMA-style NIC-driven placement):
+        #: when installed, a fully-received packet is handed to the sink
+        #: *instead of* raising any interrupt — no vector dispatch, no
+        #: softirq.  Wired by the client when the policy declares
+        #: ``interrupt_free``; None on every interrupting stack.
+        self.zero_interrupt_sink: t.Callable[["Packet"], None] | None = None
         #: NAPI mode: interrupts are disabled while a poll is in progress;
         #: packets accumulate in :attr:`pending` and the polling core
         #: drains up to ``napi_budget`` of them per interrupt.
@@ -162,6 +168,11 @@ class Nic:
             )
         if self.rx_observer is not None:
             self.rx_observer(packet)
+        if self.zero_interrupt_sink is not None:
+            # RDMA-style completion: data is already placed; nothing to
+            # interrupt.  interrupts_raised stays at zero by construction.
+            self.zero_interrupt_sink(packet)
+            return
         if self.napi:
             self._pending.append(packet)
             if self._irq_armed:

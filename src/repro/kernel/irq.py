@@ -22,10 +22,13 @@ def wire_interrupts(ioapic: IoApic, daemons: t.Sequence[SoftirqDaemon]) -> None:
         raise SimulationError(
             f"{len(daemons)} softirq daemons for {len(ioapic.local_apics)} cores"
         )
+    peers = list(daemons)
     for lapic, daemon in zip(ioapic.local_apics, daemons):
         if lapic.core_index != daemon.core.index:
             raise SimulationError(
                 f"daemon for core {daemon.core.index} wired to local APIC "
                 f"{lapic.core_index}"
             )
+        # RPS/RFS handoffs address sibling daemons by core index.
+        daemon.peers = peers
         lapic.install_handler(daemon.enqueue)

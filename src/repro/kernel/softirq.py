@@ -42,6 +42,7 @@ class SoftirqDaemon:
         pfs: "PfsClient",
         spans: t.Any | None = None,
         obs_track: t.Any | None = None,
+        interconnect: t.Any | None = None,
     ) -> None:
         self.env = env
         self.core = core
@@ -51,9 +52,17 @@ class SoftirqDaemon:
         #: Span recorder + this core's lane (repro.obs); None when off.
         self.spans = spans
         self.obs_track = obs_track
+        #: The client's InterconnectBus, for RPS/RFS cross-core signals.
+        self.interconnect = interconnect
+        #: All sibling daemons indexed by core (set by ``wire_interrupts``);
+        #: the RPS handoff enqueues into the target core's daemon.
+        self.peers: t.Sequence["SoftirqDaemon"] | None = None
         self.queue: Store = Store(env, inline_wakeup=True)
         self.handled = Counter(f"softirq{core.index}_handled")
         self.bytes_handled = Counter(f"softirq{core.index}_bytes")
+        #: Contexts this core re-steered to another core's softirq
+        #: (RPS/RFS); the receiving daemon counts them in ``handled``.
+        self.steered = Counter(f"softirq{core.index}_steered")
         #: Data packets that should have carried a SAIs hint but arrived
         #: option-less (a middlebox stripped it): the traffic the
         #: degraded fallback steers.  Always zero on a stock stack.
@@ -79,6 +88,12 @@ class SoftirqDaemon:
             yield from self._handle(ctx)
 
     def _handle(self, ctx: InterruptContext) -> t.Generator:
+        if ctx.rps_target is not None:
+            target = ctx.rps_target
+            ctx.rps_target = None
+            if target != self.core.index and self.peers is not None:
+                yield from self._steer(ctx, target)
+                return
         if ctx.napi_source is None:
             with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
                 yield req
@@ -100,6 +115,28 @@ class SoftirqDaemon:
                 flow = None  # the edge lands on the first polled packet
                 budget -= 1
         nic.napi_reschedule()
+
+    def _steer(self, ctx: InterruptContext, target: int) -> t.Generator:
+        """RPS/RFS cross-core handoff from the hardware-IRQ core.
+
+        The hardirq core pays the dispatch half (flow-table lookup +
+        enqueue-to-remote-backlog, ``rps_dispatch_cost``), signals the
+        target core over the serialized interconnect (the IPI that kicks
+        the remote softirq), and re-enqueues the context there.  The
+        protocol-processing cost P is then paid on the *target* core —
+        the extra inter-core hop is the price RPS/RFS pays for
+        source-aware placement without SAIs' wire hints.
+        """
+        with self.core.request(priority=SOFTIRQ_PRIORITY) as req:
+            yield req
+            yield from self.core.run_locked(
+                self.costs.rps_dispatch_cost, "rps_dispatch"
+            )
+        if self.interconnect is not None:
+            yield from self.interconnect.signal()
+        self.steered.add()
+        assert self.peers is not None
+        self.peers[target].enqueue(ctx)
 
     def _process_packet(self, packet, flow: int | None = None) -> t.Generator:
         """Protocol-process one packet while already holding the core.

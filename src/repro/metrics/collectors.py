@@ -96,6 +96,17 @@ class ClientMetrics:
     busy_by_category: dict[str, float]
     #: Strips evicted from private caches.
     evictions: int
+    #: Segments softirq-processed out of ordinal order (the Flow
+    #: Director reordering pathology; structurally 0 under rss).
+    out_of_order_segments: int = 0
+    #: Duplicate ACKs those out-of-order deliveries elicited.
+    dup_acks: int = 0
+    #: Holes that reached 3 dup-ACKs (sender-side fast retransmits).
+    fast_retransmits: int = 0
+    #: Steering-table repoints (Flow Director ATR flow migrations).
+    steering_migrations: int = 0
+    #: RPS/RFS cross-core softirq handoffs.
+    rps_handoffs: int = 0
 
     @property
     def interrupt_spread(self) -> float:
@@ -147,6 +158,26 @@ class RunMetrics:
     def migrations(self) -> int:
         return sum(c.migrations for c in self.clients)
 
+    @property
+    def out_of_order_segments(self) -> int:
+        return sum(c.out_of_order_segments for c in self.clients)
+
+    @property
+    def dup_acks(self) -> int:
+        return sum(c.dup_acks for c in self.clients)
+
+    @property
+    def fast_retransmits(self) -> int:
+        return sum(c.fast_retransmits for c in self.clients)
+
+    @property
+    def steering_migrations(self) -> int:
+        return sum(c.steering_migrations for c in self.clients)
+
+    @property
+    def rps_handoffs(self) -> int:
+        return sum(c.rps_handoffs for c in self.clients)
+
 
 def collect_client_metrics(
     node: "ClientNode", elapsed: float, bytes_read: int
@@ -181,6 +212,11 @@ def collect_client_metrics(
         interrupts_per_core=tuple(node.ioapic.deliveries),
         busy_by_category=busy_by,
         evictions=int(node.cache.evictions.value),
+        out_of_order_segments=node.pfs.out_of_order_segments,
+        dup_acks=node.pfs.dup_acks,
+        fast_retransmits=node.pfs.fast_retransmits,
+        steering_migrations=int(getattr(node.policy, "flow_migrations", 0)),
+        rps_handoffs=sum(int(d.steered.value) for d in node.daemons),
     )
 
 

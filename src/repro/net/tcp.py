@@ -83,6 +83,25 @@ class TcpStream:
         self.reorder_events = 0
         #: Segments received again for an ordinal already assembled.
         self.duplicate_segments = 0
+        #: Next *delivery-order* ordinal expected per in-flight strip —
+        #: delivery is where softirq processing hands the segment to the
+        #: receiver, so this cursor sees reordering the wire cursor
+        #: cannot: segments steered to different cores' softirq queues
+        #: complete in core-business order, not ordinal order (the Flow
+        #: Director pathology).
+        self._delivery_cursor: dict[int, int] = {}
+        #: Consecutive dup-ACKs outstanding for the current hole, per strip.
+        self._hole_dupacks: dict[int, int] = {}
+        #: Segments *delivered* (processed) out of ordinal order.
+        self.out_of_order_deliveries = 0
+        #: Duplicate ACKs the receiver would emit (one per out-of-order
+        #: delivery while a hole is open).
+        self.dup_acks = 0
+        #: Holes that accumulated 3 dup-ACKs — a real sender would fast
+        #: retransmit here.  Counted only; the strip still reassembles
+        #: from the original segments, so goodput accounting is
+        #: unchanged (the counters are pure observability).
+        self.fast_retransmits = 0
 
     def next_sequence(self) -> int:
         """Allocate the next segment sequence number for the sender."""
@@ -166,13 +185,45 @@ class TcpStream:
             )
         assembly.received.add(packet.segment)
         assembly.nbytes += packet.size
+        self._note_delivery_order(packet.strip_id, packet.segment, assembly)
         if len(assembly.received) == assembly.expected:
             del self._in_flight[packet.strip_id]
             self._wire_cursor.pop(packet.strip_id, None)
+            self._delivery_cursor.pop(packet.strip_id, None)
+            self._hole_dupacks.pop(packet.strip_id, None)
             self._completed.append(packet.strip_id)
             self._completed_sizes[packet.strip_id] = assembly.nbytes
             return True
         return False
+
+    def _note_delivery_order(
+        self, strip_id: int, segment: int, assembly: _StripAssembly
+    ) -> None:
+        """Count delivery-order anomalies for one accepted segment.
+
+        A receiver ACKs the highest contiguous ordinal: a segment beyond
+        the lowest missing one is an out-of-order delivery and elicits a
+        duplicate ACK for the hole; the third dup-ACK for the same hole
+        would trigger the sender's fast retransmit.  Counting only —
+        assembly already buffers any order.
+        """
+        if assembly.expected <= 1:
+            return
+        expected = self._delivery_cursor.get(strip_id, 0)
+        if segment != expected:
+            self.out_of_order_deliveries += 1
+            self.dup_acks += 1
+            run = self._hole_dupacks.get(strip_id, 0) + 1
+            self._hole_dupacks[strip_id] = run
+            if run == 3:
+                self.fast_retransmits += 1
+            return
+        # The hole (if any) just filled: advance past everything buffered.
+        nxt = expected + 1
+        while nxt in assembly.received:
+            nxt += 1
+        self._delivery_cursor[strip_id] = nxt
+        self._hole_dupacks.pop(strip_id, None)
 
     def take_completed_size(self, strip_id: int) -> int:
         """Claim the reassembled byte count of a just-completed strip."""

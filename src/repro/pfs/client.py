@@ -358,3 +358,26 @@ class PfsClient:
     def duplicate_segments(self) -> int:
         """Duplicate segments dropped across all server streams."""
         return sum(s.duplicate_segments for s in self._tcp_streams.values())
+
+    @property
+    def out_of_order_segments(self) -> int:
+        """Segments *delivered* (softirq-processed) out of ordinal order.
+
+        Nonzero when interrupt steering split one flow's segments across
+        cores mid-strip — the Flow Director reordering pathology.  Flows
+        whose segments all process on one core (rss, and flow_director
+        while its table is stable) contribute zero.
+        """
+        return sum(
+            s.out_of_order_deliveries for s in self._tcp_streams.values()
+        )
+
+    @property
+    def dup_acks(self) -> int:
+        """Duplicate ACKs elicited by out-of-order deliveries."""
+        return sum(s.dup_acks for s in self._tcp_streams.values())
+
+    @property
+    def fast_retransmits(self) -> int:
+        """Holes that reached 3 dup-ACKs (sender would fast-retransmit)."""
+        return sum(s.fast_retransmits for s in self._tcp_streams.values())

@@ -24,7 +24,14 @@ from repro.experiments import run_experiment_by_id
 from repro.experiments.base import get_grid_experiment
 from repro.runner import ExperimentRunner
 
-REPRESENTATIVE = ("fig5_bandwidth_3g", "fig14_memsim", "ablation_policies")
+REPRESENTATIVE = (
+    "fig5_bandwidth_3g",
+    "fig14_memsim",
+    "ablation_policies",
+    # Exercises every registered policy (including the NIC-steering
+    # schemes) plus the seeded-migration reordering pathology.
+    "steering_reorder_pathology",
+)
 
 
 def _result_json(exp_id: str, scale: str = "quick") -> str:
