@@ -3,9 +3,13 @@
 Tiers (see CONTRIBUTING.md):
 
 * ``tier1`` — the fast default suite; auto-applied to every test that is
-  not marked ``slow``, so ``pytest -m tier1`` and ``pytest -m "not slow"``
-  select the same set.
+  marked neither ``slow`` nor ``chaos``.
 * ``slow`` — scale-stress, calibration and long example campaigns.
+* ``chaos`` — fault-injection tests that kill worker processes, wedge
+  them with SIGSTOP, or feed the serve daemon malformed input
+  (``pytest -m chaos``).  They are deterministic in outcome but
+  process-heavy; a chaos test that is also fast and signal-free can opt
+  back into the default suite with an explicit ``@pytest.mark.tier1``.
 
 ``--update-goldens`` rewrites the snapshot files consumed by
 ``tests/experiments/test_golden_snapshots.py`` instead of asserting
@@ -30,5 +34,8 @@ def pytest_collection_modifyitems(
     config: pytest.Config, items: list[pytest.Item]
 ) -> None:
     for item in items:
-        if item.get_closest_marker("slow") is None:
+        if (
+            item.get_closest_marker("slow") is None
+            and item.get_closest_marker("chaos") is None
+        ):
             item.add_marker(pytest.mark.tier1)

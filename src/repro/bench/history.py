@@ -21,19 +21,54 @@ __all__ = ["load_history", "sparkline", "render_history", "main"]
 _TICKS = "▁▂▃▄▅▆▇█"
 
 
-def load_history(out_dir: Path) -> list[dict[str, t.Any]]:
+def _totals_usable(totals: t.Any) -> bool:
+    """True when ``totals`` can feed :func:`render_history` arithmetic."""
+    if not isinstance(totals, dict):
+        return False
+    for field in ("wall_time_s", "events_processed"):
+        value = totals.get(field, 0)
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+    return True
+
+
+def load_history(
+    out_dir: Path, warn: t.Callable[[str], None] | None = None
+) -> list[dict[str, t.Any]]:
     """Every readable ``BENCH_*.json`` under ``out_dir``, oldest first.
 
     Ordering uses the recorded ``created`` timestamp (not mtime — a fresh
-    checkout resets mtimes); unreadable or schema-less files are skipped.
+    checkout resets mtimes).  A snapshot that is empty, unparseable, or
+    whose ``totals`` would not survive the arithmetic in
+    :func:`render_history` is skipped with one ``warn`` line — a single
+    truncated file (e.g. a benchmark killed mid-write) must not take the
+    whole history view down.
     """
+
+    def _warn(path: Path, reason: str) -> None:
+        if warn is not None:
+            warn(f"bench: skipping {path.name}: {reason}")
+
     entries: list[tuple[str, dict[str, t.Any]]] = []
     for path in sorted(out_dir.glob("BENCH_*.json")):
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError as exc:
+            _warn(path, f"unreadable ({exc.__class__.__name__})")
+            continue
+        if not text.strip():
+            _warn(path, "empty file")
+            continue
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            _warn(path, "malformed JSON")
             continue
         if not isinstance(payload, dict) or "totals" not in payload:
+            _warn(path, "no 'totals' section")
+            continue
+        if not _totals_usable(payload["totals"]):
+            _warn(path, "non-numeric 'totals'")
             continue
         payload["_path"] = str(path)
         entries.append((str(payload.get("created", "")), payload))
@@ -106,6 +141,10 @@ def main(
     out_dir: str | Path = ".", echo: t.Callable[[str], None] = print
 ) -> int:
     """Print the history table; returns a process exit code."""
-    history = load_history(Path(out_dir))
+    import sys
+
+    history = load_history(
+        Path(out_dir), warn=lambda line: print(line, file=sys.stderr)
+    )
     echo(render_history(history))
     return 0 if history else 1

@@ -8,7 +8,15 @@ scales ``sais-repro run all`` with cores:
   out over a process pool, deduplicates shared points, reassembles rows
   in grid order;
 * :class:`ResultCache` — content-addressed on-disk cache keyed by
-  SHA-256 of (exp_id, scale, resolved config dataclasses, version).
+  SHA-256 of (exp_id, scale, resolved config dataclasses, version),
+  written atomically (tmp file + ``os.replace``) so concurrent runners
+  and serve daemons can share one cache directory;
+* :class:`SupervisedWorkerPool` — warm workers with heartbeats,
+  crash/hang detection, automatic restart and per-task retry/backoff;
+  the execution layer under the :mod:`repro.serve` daemon.  The plain
+  ``ExperimentRunner`` pool also survives a worker death: the pool is
+  rebuilt, the affected points retried once, and only a point that
+  keeps killing workers becomes a per-point error report.
 
 Quickstart::
 
@@ -22,14 +30,29 @@ Quickstart::
 """
 
 from .cache import ResultCache, config_digest, default_cache_dir, result_key
-from .runner import ExperimentRunner, RunReport, RunSummary
+from .runner import (
+    ExperimentPlan,
+    ExperimentRunner,
+    RunReport,
+    RunSummary,
+    assemble_plan,
+    plan_experiment,
+    task_kind,
+)
+from .supervised import SupervisedWorkerPool, TaskOutcome
 
 __all__ = [
     "ExperimentRunner",
+    "ExperimentPlan",
     "ResultCache",
     "RunReport",
     "RunSummary",
+    "SupervisedWorkerPool",
+    "TaskOutcome",
+    "assemble_plan",
     "config_digest",
     "default_cache_dir",
+    "plan_experiment",
     "result_key",
+    "task_kind",
 ]

@@ -22,6 +22,7 @@ import contextlib
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pathlib
 import tempfile
@@ -41,6 +42,8 @@ __all__ = [
 
 #: Environment override for the cache root (CLI ``--cache-dir`` wins).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+logger = logging.getLogger("repro.runner.cache")
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -114,14 +117,38 @@ class ResultCache:
         return self.root / f"v{repro.__version__}" / f"{key}.json"
 
     def get(self, key: str) -> ExperimentResult | None:
-        """Load a cached result; any corruption is a miss, not a crash."""
+        """Load a cached result; any corruption is a *logged* miss.
+
+        A plain missing file is the ordinary cold-cache case and stays
+        silent; an entry that exists but cannot be parsed (truncated by
+        a crash predating the atomic-write path, bit rot, a stray
+        editor) warns once and is re-run — never an exception, so one
+        bad file cannot take a runner invocation or the serve daemon
+        down with it.
+        """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            logger.warning(
+                "cache entry %s unreadable (%s); treating as a miss",
+                path.name,
+                exc,
+            )
+            return None
+        try:
+            payload = json.loads(text)
             if payload.get("key") != key:
-                return None
+                raise ValueError("entry/key mismatch")
             return ExperimentResult.from_dict(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            logger.warning(
+                "cache entry %s corrupt (%s); treating as a miss",
+                path.name,
+                exc,
+            )
             return None
 
     def put(self, key: str, result: ExperimentResult, scale: str) -> pathlib.Path:

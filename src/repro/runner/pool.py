@@ -1,17 +1,31 @@
-"""Pickleable work units for the process-pool experiment runner.
+"""Pickleable work units and the worker shim for the supervised pool.
 
-Workers receive ``(exp_id, spec)`` pairs, re-import the experiment
-registry (module import re-registers every experiment) and execute the
-named experiment's ``run_point`` on the spec.  Only specs and row
-results cross the process boundary — both are plain frozen dataclasses —
-so the same code path works under ``fork`` and ``spawn`` start methods.
+Workers receive ``("task", key, kind, exp_id, payload)`` messages,
+re-import the experiment registry (module import re-registers every
+experiment) and execute the named experiment's ``run_point`` on the
+spec.  Only specs and row results cross the process boundary — both are
+plain frozen dataclasses — so the same code path works under ``fork``
+and ``spawn`` start methods.
+
+:func:`pool_worker_main` is the long-lived worker loop used by
+:class:`~repro.runner.supervised.SupervisedWorkerPool`: it answers task
+messages until told to stop, and a side thread emits heartbeats so the
+supervisor can tell a busy worker from a dead one.
 """
 
 from __future__ import annotations
 
+import threading
+import traceback
 import typing as t
 
-__all__ = ["run_point_task", "run_monolithic_task"]
+__all__ = [
+    "run_point_task",
+    "run_monolithic_task",
+    "run_call_task",
+    "run_task",
+    "pool_worker_main",
+]
 
 
 def run_point_task(exp_id: str, spec: t.Any) -> t.Any:
@@ -29,3 +43,75 @@ def run_monolithic_task(exp_id: str, scale: str) -> t.Any:
     from repro.experiments import run_experiment_by_id
 
     return run_experiment_by_id(exp_id, scale=scale).to_dict()
+
+
+def run_call_task(payload: t.Any) -> t.Any:
+    """Call an importable ``(module, function, args)`` triple.
+
+    The generic escape hatch: the chaos test tier uses it to run fault
+    functions (self-SIGKILL, SIGSTOP, deterministic raisers) inside a
+    supervised worker without registering fake experiments.
+    """
+    import importlib
+
+    module_name, func_name, args = payload
+    func = getattr(importlib.import_module(module_name), func_name)
+    return func(*args)
+
+
+def run_task(kind: str, exp_id: str, payload: t.Any) -> t.Any:
+    """Dispatch one task by kind: ``"point"``, ``"mono"`` or ``"call"``."""
+    if kind == "mono":
+        return run_monolithic_task(exp_id, payload)
+    if kind == "call":
+        return run_call_task(payload)
+    return run_point_task(exp_id, payload)
+
+
+def pool_worker_main(conn: t.Any, heartbeat_interval: float) -> None:
+    """Worker loop: serve ``task`` messages over ``conn`` until ``stop``.
+
+    Protocol (worker side):
+
+    * receives ``("task", key, kind, exp_id, payload)`` or ``("stop",)``;
+    * sends ``("done", key, row)`` / ``("error", key, traceback_text)``;
+    * a daemon thread sends ``("hb",)`` every ``heartbeat_interval``
+      seconds, so the supervisor's liveness deadline can distinguish a
+      long-running task from a SIGKILLed or wedged interpreter.
+
+    ``Connection.send`` is not thread-safe, so the heartbeat thread and
+    the task loop share one lock.
+    """
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            try:
+                with send_lock:
+                    conn.send(("hb",))
+            except (BrokenPipeError, OSError):
+                return
+
+    heartbeat = threading.Thread(target=beat, daemon=True)
+    heartbeat.start()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, key, kind, exp_id, payload = message
+            try:
+                row = run_task(kind, exp_id, payload)
+            except BaseException as exc:  # noqa: BLE001 - forwarded upstream
+                detail = f"{exc!r}\n{traceback.format_exc()}"
+                with send_lock:
+                    conn.send(("error", key, detail))
+            else:
+                with send_lock:
+                    conn.send(("done", key, row))
+    except EOFError:  # supervisor died; nothing to report to
+        pass
+    finally:
+        stop_beating.set()
+        conn.close()

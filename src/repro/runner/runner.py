@@ -29,7 +29,15 @@ from ..experiments.base import (
 from .cache import ResultCache, canonical_payload, result_key
 from .pool import run_monolithic_task, run_point_task
 
-__all__ = ["ExperimentRunner", "RunReport", "RunSummary"]
+__all__ = [
+    "ExperimentRunner",
+    "ExperimentPlan",
+    "RunReport",
+    "RunSummary",
+    "plan_experiment",
+    "assemble_plan",
+    "task_kind",
+]
 
 ProgressFn = t.Callable[[str], None]
 
@@ -39,7 +47,7 @@ class RunReport:
     """Provenance of one experiment's result within a runner invocation."""
 
     exp_id: str
-    result: ExperimentResult
+    result: ExperimentResult | None
     #: Served from the on-disk cache without running anything.
     cached: bool
     #: Grid points this experiment consumed (0 for monolithic runs).
@@ -47,6 +55,9 @@ class RunReport:
     #: Points this experiment was first to schedule (the rest were shared
     #: with earlier experiments in the same invocation).
     n_scheduled: int
+    #: Why ``result`` is None: a per-point failure that survived the
+    #: pool-rebuild retry (the rest of the invocation still completed).
+    error: str | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,11 +72,20 @@ class RunSummary:
 
     @property
     def results(self) -> list[ExperimentResult]:
-        return [report.result for report in self.reports]
+        """Successful results (failed reports carry ``error`` instead)."""
+        return [
+            report.result
+            for report in self.reports
+            if report.result is not None
+        ]
+
+    @property
+    def failed(self) -> list[RunReport]:
+        return [report for report in self.reports if report.error is not None]
 
 
 @dataclasses.dataclass(frozen=True)
-class _Plan:
+class ExperimentPlan:
     """One experiment's share of the work: keys into the task table."""
 
     exp_id: str
@@ -73,6 +93,72 @@ class _Plan:
     specs: tuple[t.Any, ...] | None  # None = monolithic
     point_keys: tuple[str, ...]
     n_scheduled: int
+
+
+@dataclasses.dataclass(frozen=True)
+class _PointFailure:
+    """Sentinel row for a grid point that kept killing its workers."""
+
+    detail: str
+
+
+def task_kind(key: str) -> str:
+    """The :func:`repro.runner.pool.run_task` kind for a task-table key."""
+    return "mono" if key.startswith("mono:") else "point"
+
+
+def plan_experiment(
+    exp_id: str,
+    scale: str,
+    tasks: dict[str, tuple[str, t.Any]],
+) -> ExperimentPlan:
+    """Decompose one experiment into the shared task table.
+
+    ``tasks`` maps task keys to ``(exp_id, spec-or-scale)`` pairs and is
+    *mutated*: keys this experiment is first to need are inserted, keys
+    an earlier plan already scheduled are shared.  Used by both
+    :class:`ExperimentRunner` and the :mod:`repro.serve` daemon (whose
+    dedup layer is exactly this planning plus the result cache).
+    """
+    if not has_grid_experiment(exp_id):
+        key = result_key(exp_id, scale, None)
+        mono_key = f"mono:{exp_id}:{scale}"
+        scheduled = mono_key not in tasks
+        tasks.setdefault(mono_key, (exp_id, scale))
+        return ExperimentPlan(
+            exp_id=exp_id,
+            key=key,
+            specs=None,
+            point_keys=(mono_key,),
+            n_scheduled=int(scheduled),
+        )
+    experiment = get_grid_experiment(exp_id)
+    specs = tuple(experiment.grid(scale))
+    point_keys = tuple(experiment.keys(specs))
+    key = result_key(exp_id, scale, canonical_payload(list(specs)))
+    scheduled = 0
+    for point_key, spec in zip(point_keys, specs):
+        if point_key not in tasks:
+            tasks[point_key] = (exp_id, spec)
+            scheduled += 1
+    return ExperimentPlan(
+        exp_id=exp_id,
+        key=key,
+        specs=specs,
+        point_keys=point_keys,
+        n_scheduled=scheduled,
+    )
+
+
+def assemble_plan(
+    plan: ExperimentPlan, scale: str, rows_by_key: dict[str, t.Any]
+) -> ExperimentResult:
+    """Fold executed task rows back into one ``ExperimentResult``."""
+    if plan.specs is None:
+        return ExperimentResult.from_dict(rows_by_key[plan.point_keys[0]])
+    experiment = get_grid_experiment(plan.exp_id)
+    rows = [rows_by_key[key] for key in plan.point_keys]
+    return experiment.assemble(scale, plan.specs, rows)
 
 
 class ExperimentRunner:
@@ -110,7 +196,7 @@ class ExperimentRunner:
         """Run several experiments, sharing and deduplicating their points."""
         scale = resolve_scale(scale)
         cached_results: dict[str, ExperimentResult] = {}
-        plans: list[_Plan] = []
+        plans: list[ExperimentPlan] = []
         # Insertion-ordered task table: point key -> (exp_id, spec|scale).
         tasks: dict[str, tuple[str, t.Any]] = {}
 
@@ -139,7 +225,7 @@ class ExperimentRunner:
             for key, task in tasks.items()
             if self._key_needed(key, plans, cached_results)
         }
-        rows_by_key = self._execute(pending, scale)
+        rows_by_key, point_errors = self._execute(pending, scale)
 
         reports = []
         for plan in plans:
@@ -154,7 +240,27 @@ class ExperimentRunner:
                     )
                 )
                 continue
-            result = self._assemble(plan, scale, rows_by_key)
+            failed = [key for key in plan.point_keys if key in point_errors]
+            if failed:
+                detail = "; ".join(
+                    f"{key[:24]}: {point_errors[key]}" for key in failed
+                )
+                self._emit(f"failed {plan.exp_id}: {detail}")
+                reports.append(
+                    RunReport(
+                        exp_id=plan.exp_id,
+                        result=None,
+                        cached=False,
+                        n_points=len(plan.point_keys),
+                        n_scheduled=plan.n_scheduled,
+                        error=(
+                            f"{len(failed)} of {len(plan.point_keys)} "
+                            f"point(s) failed: {detail}"
+                        ),
+                    )
+                )
+                continue
+            result = assemble_plan(plan, scale, rows_by_key)
             if self.cache is not None:
                 self.cache.put(plan.key, result, scale)
             reports.append(
@@ -181,40 +287,13 @@ class ExperimentRunner:
         exp_id: str,
         scale: str,
         tasks: dict[str, tuple[str, t.Any]],
-    ) -> _Plan:
-        if not has_grid_experiment(exp_id):
-            key = result_key(exp_id, scale, None)
-            mono_key = f"mono:{exp_id}:{scale}"
-            scheduled = mono_key not in tasks
-            tasks.setdefault(mono_key, (exp_id, scale))
-            return _Plan(
-                exp_id=exp_id,
-                key=key,
-                specs=None,
-                point_keys=(mono_key,),
-                n_scheduled=int(scheduled),
-            )
-        experiment = get_grid_experiment(exp_id)
-        specs = tuple(experiment.grid(scale))
-        point_keys = tuple(experiment.keys(specs))
-        key = result_key(exp_id, scale, canonical_payload(list(specs)))
-        scheduled = 0
-        for point_key, spec in zip(point_keys, specs):
-            if point_key not in tasks:
-                tasks[point_key] = (exp_id, spec)
-                scheduled += 1
-        return _Plan(
-            exp_id=exp_id,
-            key=key,
-            specs=specs,
-            point_keys=point_keys,
-            n_scheduled=scheduled,
-        )
+    ) -> ExperimentPlan:
+        return plan_experiment(exp_id, scale, tasks)
 
     @staticmethod
     def _key_needed(
         key: str,
-        plans: t.Sequence[_Plan],
+        plans: t.Sequence[ExperimentPlan],
         cached_results: dict[str, ExperimentResult],
     ) -> bool:
         return any(
@@ -225,8 +304,8 @@ class ExperimentRunner:
 
     def _release_points(
         self,
-        plan: _Plan,
-        plans: t.Sequence[_Plan],
+        plan: ExperimentPlan,
+        plans: t.Sequence[ExperimentPlan],
         cached_results: dict[str, ExperimentResult],
         tasks: dict[str, tuple[str, t.Any]],
     ) -> None:
@@ -238,17 +317,65 @@ class ExperimentRunner:
 
     def _execute(
         self, tasks: dict[str, tuple[str, t.Any]], scale: str
-    ) -> dict[str, t.Any]:
+    ) -> tuple[dict[str, t.Any], dict[str, str]]:
+        """Run the task table; returns ``(rows_by_key, errors_by_key)``.
+
+        Errors only ever appear under ``jobs > 1``: a grid point whose
+        worker dies (SIGKILL, OOM, ``os._exit``) is retried once on a
+        rebuilt pool, and only a point that *keeps* killing workers is
+        reported as a per-point error — the rest of the grid completes.
+        """
         if not tasks:
-            return {}
+            return {}, {}
         if self.jobs == 1:
             return {
                 key: self._run_task_inline(key, exp_id, payload)
                 for key, (exp_id, payload) in tasks.items()
-            }
-        import concurrent.futures
+            }, {}
+        return self._execute_pool(tasks)
 
+    def _execute_pool(
+        self, tasks: dict[str, tuple[str, t.Any]]
+    ) -> tuple[dict[str, t.Any], dict[str, str]]:
         rows: dict[str, t.Any] = {}
+        errors: dict[str, str] = {}
+        pending = dict(tasks)
+        breaks = 0
+        while pending:
+            completed, broke = self._pool_round(pending)
+            rows.update(completed)
+            for key in completed:
+                pending.pop(key, None)
+            if not broke:
+                break
+            breaks += 1
+            self._emit(
+                "worker died mid-grid; rebuilding pool "
+                f"(retrying {len(pending)} point(s))"
+            )
+            if breaks >= 2 and pending:
+                # The collective retry also lost a worker, so one of the
+                # survivors is poisoned.  Isolate each in its own pool:
+                # innocents complete, the killer becomes an error row.
+                for key in list(pending):
+                    exp_id, payload = pending.pop(key)
+                    outcome = self._pool_isolated(key, exp_id, payload)
+                    if isinstance(outcome, _PointFailure):
+                        errors[key] = outcome.detail
+                    else:
+                        rows[key] = outcome
+                break
+        return rows, errors
+
+    def _pool_round(
+        self, tasks: dict[str, tuple[str, t.Any]]
+    ) -> tuple[dict[str, t.Any], bool]:
+        """One pool pass; harvests every finished row even if the pool breaks."""
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        completed: dict[str, t.Any] = {}
+        broke = False
         workers = min(self.jobs, len(tasks))
         with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
@@ -259,29 +386,39 @@ class ExperimentRunner:
                 )
                 for key, (exp_id, payload) in tasks.items()
             }
-            done = 0
             for key, future in futures.items():
-                rows[key] = future.result()
-                done += 1
-                self._emit(f"point {done}/{len(futures)} [{key[:24]}]")
-        return rows
+                try:
+                    completed[key] = future.result()
+                except BrokenProcessPool:
+                    broke = True
+                    continue
+                self._emit(
+                    f"point {len(completed)}/{len(futures)} [{key[:24]}]"
+                )
+        return completed, broke
+
+    def _pool_isolated(self, key: str, exp_id: str, payload: t.Any) -> t.Any:
+        import concurrent.futures
+        from concurrent.futures.process import BrokenProcessPool
+
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(
+                run_monolithic_task if key.startswith("mono:") else run_point_task,
+                exp_id,
+                payload,
+            )
+            try:
+                return future.result()
+            except BrokenProcessPool:
+                return _PointFailure(
+                    f"point killed its worker again in isolation "
+                    f"(exp {exp_id})"
+                )
 
     def _run_task_inline(self, key: str, exp_id: str, payload: t.Any) -> t.Any:
         if key.startswith("mono:"):
             return run_monolithic_task(exp_id, payload)
         return get_grid_experiment(exp_id).run_point(payload)
-
-    # -- assembly ------------------------------------------------------
-
-    @staticmethod
-    def _assemble(
-        plan: _Plan, scale: str, rows_by_key: dict[str, t.Any]
-    ) -> ExperimentResult:
-        if plan.specs is None:
-            return ExperimentResult.from_dict(rows_by_key[plan.point_keys[0]])
-        experiment = get_grid_experiment(plan.exp_id)
-        rows = [rows_by_key[key] for key in plan.point_keys]
-        return experiment.assemble(scale, plan.specs, rows)
 
     def _emit(self, message: str) -> None:
         if self._progress is not None:

@@ -1,0 +1,66 @@
+"""Simulation-as-a-service: the crash-tolerant run-control daemon.
+
+``sais-repro serve`` turns the experiment runner into a long-lived
+service: submissions arrive over a line-delimited JSON TCP protocol
+(:mod:`repro.serve.protocol`), are deduplicated against both the open
+run table and the runner's content-addressed result cache
+(:mod:`repro.serve.jobs`), and execute on a supervised warm worker pool
+(:class:`repro.runner.supervised.SupervisedWorkerPool`) that restarts
+crashed, SIGKILLed and hung workers and retries their tasks with
+exponential backoff.
+
+The robustness contract — bounded queue with explicit ``queue_full``
+backpressure, typed ``job_failed`` terminal errors, result TTLs,
+drain-then-exit shutdown — is documented in
+:mod:`repro.serve.daemon` and pinned by ``tests/serve/`` (including a
+``chaos`` tier that kills workers mid-run and feeds the socket
+garbage).
+
+Quickstart::
+
+    sais-repro serve --workers 2 &
+    sais-repro submit fig5_bandwidth_3g --scale quick
+    sais-repro status            # daemon metrics snapshot
+
+or in code::
+
+    from repro.serve import RunControlDaemon, ServeClient, ServeConfig
+
+    daemon = RunControlDaemon(ServeConfig(port=0, pool_transport="inproc"))
+    host, port = daemon.start()
+    client = ServeClient(host, port)
+    final = client.submit_and_wait("fig5_bandwidth_3g", scale="quick")
+"""
+
+from .client import ServeClient
+from .daemon import DEFAULT_HOST, DEFAULT_PORT, RunControlDaemon, ServeConfig
+from .jobs import Job, JobTable, RunState
+from .protocol import (
+    ERROR_CODES,
+    JOB_STATES,
+    TERMINAL_STATES,
+    decode,
+    encode,
+    error_response,
+    exception_for,
+    ok_response,
+)
+
+__all__ = [
+    "RunControlDaemon",
+    "ServeConfig",
+    "ServeClient",
+    "Job",
+    "JobTable",
+    "RunState",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ERROR_CODES",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+    "exception_for",
+]

@@ -1,0 +1,159 @@
+"""Client for the run-control daemon: typed errors, jittered retry.
+
+``ServeClient`` speaks the line-delimited JSON protocol over one TCP
+connection per request (stateless — robust to daemon restarts and to
+half-closed sockets).  Error responses are raised as the matching
+:mod:`repro.errors` exception via
+:func:`repro.serve.protocol.exception_for`; in particular
+``queue_full``/``shutting_down`` become
+:class:`~repro.errors.QueueFullError`, which :meth:`ServeClient.submit`
+absorbs with capped exponential backoff *plus jitter* — a hundred
+clients bounced by backpressure must not retry in lockstep.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+import typing as t
+
+from ..errors import ServeError
+from .daemon import DEFAULT_HOST, DEFAULT_PORT
+from .protocol import MAX_LINE_BYTES, decode, encode, exception_for
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talk to a :class:`~repro.serve.daemon.RunControlDaemon`."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 30.0,
+        submit_retries: int = 8,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.submit_retries = submit_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng if rng is not None else random.Random()
+
+    # -- wire ----------------------------------------------------------
+
+    def request(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        """One raw request/response round trip (no error raising)."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as conn:
+            conn.sendall(encode(message))
+            with conn.makefile("rb") as reader:
+                line = reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ServeError(
+                f"daemon at {self.host}:{self.port} closed the connection "
+                "without a response"
+            )
+        return decode(line)
+
+    def _checked(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        """Round trip; raises the typed exception on an error response."""
+        response = self.request(message)
+        if not response.get("ok", False):
+            raise exception_for(response)
+        return response
+
+    # -- operations ----------------------------------------------------
+
+    def ping(self) -> dict[str, t.Any]:
+        return self._checked({"op": "ping"})
+
+    def metrics(self) -> dict[str, float]:
+        return self._checked({"op": "metrics"})["metrics"]
+
+    def jobs(self) -> list[dict[str, t.Any]]:
+        return self._checked({"op": "jobs"})["jobs"]
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the daemon's live pool workers (empty under inproc)."""
+        return self._checked({"op": "metrics"})["worker_pids"]
+
+    def submit(
+        self,
+        experiment: str,
+        scale: str = "quick",
+        *,
+        retry_backpressure: bool = True,
+    ) -> dict[str, t.Any]:
+        """Submit one experiment; absorbs backpressure with jittered retry.
+
+        Returns the submit response (``job_id``, ``state``, ``dedup``,
+        ``key``).  A persistent ``queue_full`` beyond the retry budget
+        re-raises :class:`~repro.errors.QueueFullError`.
+        """
+        message = {"op": "submit", "experiment": experiment, "scale": scale}
+        attempts = self.submit_retries if retry_backpressure else 0
+        for attempt in range(attempts + 1):
+            response = self.request(message)
+            if response.get("ok", False):
+                return response
+            retryable = response.get("error") in ("queue_full", "shutting_down")
+            if not retryable or attempt >= attempts:
+                raise exception_for(response)
+            delay = min(self.backoff_cap, self.backoff_base * (2**attempt))
+            delay *= 1.0 + self._rng.random()  # full jitter: 1x..2x
+            time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(
+        self, job_id: str, *, include_result: bool = False
+    ) -> dict[str, t.Any]:
+        """Current job view; raises ``JobFailedError`` for a failed job."""
+        return self._checked(
+            {"op": "status", "job_id": job_id, "include_result": include_result}
+        )
+
+    def wait(self, job_id: str, timeout: float = 120.0) -> dict[str, t.Any]:
+        """Block until ``job_id`` is terminal; returns the final view.
+
+        Raises :class:`~repro.errors.JobFailedError` when the job
+        exhausted its attempt budget and :class:`~repro.errors.ServeError`
+        if ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServeError(
+                    f"timed out after {timeout:.1f}s waiting for {job_id}"
+                )
+            response = self._checked(
+                {
+                    "op": "wait",
+                    "job_id": job_id,
+                    "timeout": min(remaining, 30.0),
+                }
+            )
+            if response.get("state") in ("done", "cancelled"):
+                return response
+
+    def submit_and_wait(
+        self, experiment: str, scale: str = "quick", timeout: float = 120.0
+    ) -> dict[str, t.Any]:
+        """Submit + wait; returns the terminal job view (with result)."""
+        submitted = self.submit(experiment, scale)
+        return self.wait(submitted["job_id"], timeout=timeout)
+
+    def cancel(self, job_id: str) -> dict[str, t.Any]:
+        return self._checked({"op": "cancel", "job_id": job_id})
+
+    def shutdown(self, drain: bool = True) -> dict[str, t.Any]:
+        return self._checked({"op": "shutdown", "drain": drain})

@@ -1,0 +1,529 @@
+"""The crash-tolerant run-control daemon behind ``sais-repro serve``.
+
+Supervision tree (one process, three thread groups)::
+
+    RunControlDaemon
+    ├── TCP accept loop (ThreadingTCPServer, one thread per connection)
+    │     parses line-delimited JSON, answers from the JobTable —
+    │     malformed input is a typed bad_request response, never a crash
+    ├── scheduler thread
+    │     dispatches queued runs onto the worker pool, folds task rows
+    │     back into results, writes the cache, evicts TTL-expired jobs,
+    │     and owns the drain-then-exit shutdown path
+    └── SupervisedWorkerPool (repro.runner.supervised)
+          ├── worker 0 (heartbeats; restarted on crash/kill/hang)
+          └── worker N
+
+Robustness contract, end to end:
+
+* a **SIGKILLed / crashed / hung worker** is detected by heartbeat
+  deadline or pipe EOF, replaced, and the interrupted task retried with
+  exponential backoff — the submitter still gets a result;
+* a task that exhausts ``max_attempts`` fails **only its own jobs** with
+  the typed ``job_failed`` error; the daemon keeps serving;
+* the submission queue is **bounded**: beyond ``queue_bound`` open runs
+  a submission is answered ``queue_full`` (explicit backpressure, never
+  a hang), and the bundled client retries with jittered backoff;
+* identical submissions are **deduplicated** twice — against the open
+  run table and against the content-addressed result cache — so N
+  identical submissions cost one simulation;
+* results are cached via tmp-file + ``os.replace`` (atomic under
+  concurrent daemons sharing a cache dir) and corrupt entries degrade
+  to a logged re-run;
+* ``shutdown`` drains: submissions are refused (``shutting_down``),
+  in-flight runs complete, then workers stop and the socket closes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socketserver
+import sys
+import threading
+import time
+import traceback
+import typing as t
+
+from ..errors import (
+    ConfigError,
+    JobNotFoundError,
+    ProtocolError,
+    QueueFullError,
+)
+from ..obs import MetricsRegistry
+from ..runner.cache import ResultCache
+from ..runner.runner import assemble_plan, plan_experiment, task_kind
+from ..runner.supervised import SupervisedWorkerPool
+from .jobs import Job, JobTable, RunState
+from .protocol import MAX_LINE_BYTES, decode, encode, error_response, ok_response
+
+__all__ = ["ServeConfig", "RunControlDaemon", "DEFAULT_HOST", "DEFAULT_PORT"]
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7341
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Everything that shapes one daemon instance."""
+
+    host: str = DEFAULT_HOST
+    port: int = DEFAULT_PORT  # 0 = ephemeral (the bound port is reported)
+    workers: int = 2
+    #: Max open (queued + executing) runs before ``queue_full``.
+    queue_bound: int = 32
+    #: Per-task attempt budget before a typed ``job_failed``.
+    max_attempts: int = 3
+    #: Seconds a finished job's record (and result) stays queryable.
+    result_ttl: float = 900.0
+    heartbeat_interval: float = 0.1
+    #: A worker silent for this long is declared hung and replaced.
+    liveness_timeout: float = 5.0
+    #: Optional per-task wall budget (None = only liveness guards).
+    task_timeout: float | None = None
+    backoff_base: float = 0.25
+    backoff_cap: float = 5.0
+    #: "mp" (real worker processes) or "inproc" (inline; 1-CPU CI).
+    pool_transport: str = "mp"
+    cache_dir: str | None = None
+    use_cache: bool = True
+
+
+class _ServeTCPServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    daemon_ref: "RunControlDaemon"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a loop of request line -> response line."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        daemon = self.server.daemon_ref  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if len(line) > MAX_LINE_BYTES:
+                # Cannot resync a partially-read oversized line: answer
+                # and drop the connection (the daemon itself is fine).
+                self._send(
+                    error_response(
+                        "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes",
+                    )
+                )
+                return
+            if not line.strip():
+                continue
+            try:
+                message = decode(line)
+            except ProtocolError as exc:
+                response = error_response("bad_request", str(exc))
+            else:
+                response = daemon.dispatch(message)
+            if not self._send(response):
+                return
+
+    def _send(self, response: dict[str, t.Any]) -> bool:
+        try:
+            self.wfile.write(encode(response))
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+
+class RunControlDaemon:
+    """Long-lived run-control service over a supervised worker pool."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        log: t.Callable[[str], None] | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._log_fn = log
+        self._started_at = time.monotonic()
+        self.table = JobTable(
+            queue_bound=self.config.queue_bound,
+            result_ttl=self.config.result_ttl,
+        )
+        self.cache: ResultCache | None = (
+            ResultCache(self.config.cache_dir) if self.config.use_cache else None
+        )
+        self.pool = SupervisedWorkerPool(
+            workers=self.config.workers,
+            transport=self.config.pool_transport,
+            heartbeat_interval=self.config.heartbeat_interval,
+            liveness_timeout=self.config.liveness_timeout,
+            task_timeout=self.config.task_timeout,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            on_event=self._pool_event,
+        )
+        self.registry = MetricsRegistry()
+        self._register_metrics()
+        self._draining = False
+        self._stop_now = False
+        self._scheduler: threading.Thread | None = None
+        self._server: _ServeTCPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self.address: tuple[str, int] | None = None
+        self._ops: dict[str, t.Callable[[dict[str, t.Any]], dict[str, t.Any]]] = {
+            "ping": self._op_ping,
+            "submit": self._op_submit,
+            "status": self._op_status,
+            "wait": self._op_wait,
+            "cancel": self._op_cancel,
+            "jobs": self._op_jobs,
+            "metrics": self._op_metrics,
+            "shutdown": self._op_shutdown,
+        }
+
+    # -- observability -------------------------------------------------
+
+    def _register_metrics(self) -> None:
+        table = self.table
+        self.registry.register_probe(
+            "serve.queue_depth", lambda: float(table.queue_depth())
+        )
+        self.registry.register_probe(
+            "serve.open_runs", lambda: float(table.open_runs())
+        )
+        self.registry.register_probe(
+            "serve.jobs_active", lambda: float(table.active_jobs())
+        )
+        for name in table.stats:
+            self.registry.register_probe(
+                f"serve.{name}",
+                lambda key=name: float(table.stats[key]),
+                kind="counter",
+            )
+        for name in self.pool.stats:
+            self.registry.register_probe(
+                f"serve.pool.{name}",
+                lambda key=name: float(self.pool.stats[key]),
+                kind="counter",
+            )
+
+    def _pool_event(self, name: str, detail: dict[str, t.Any]) -> None:
+        self._log(f"pool {name}: {detail}")
+
+    def _log(self, message: str) -> None:
+        if self._log_fn is not None:
+            self._log_fn(message)
+        else:
+            stamp = time.strftime("%H:%M:%S")
+            print(f"serve[{stamp}]: {message}", file=sys.stderr, flush=True)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Start scheduler + TCP server threads; returns the bound address."""
+        import repro.experiments  # noqa: F401 - registration side effects
+
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="serve-scheduler", daemon=True
+        )
+        self._scheduler.start()
+        self._server = _ServeTCPServer(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._server.daemon_ref = self
+        self.address = (
+            self._server.server_address[0],
+            self._server.server_address[1],
+        )
+        self._server_thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-tcp",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._log(
+            f"listening on {self.address[0]}:{self.address[1]} "
+            f"({self.pool.n_workers} worker(s), transport={self.pool.transport}, "
+            f"queue_bound={self.config.queue_bound})"
+        )
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Start and block until a shutdown request completes the drain."""
+        self.start()
+        self.join()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=timeout)
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=timeout)
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Refuse new submissions and (optionally) drain in-flight runs."""
+        with self.table.cond:
+            self._draining = True
+            if not drain:
+                self._stop_now = True
+            self.table.cond.notify_all()
+
+    def running(self) -> bool:
+        return self._scheduler is not None and self._scheduler.is_alive()
+
+    # -- request dispatch (handler threads) ----------------------------
+
+    def dispatch(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        """``handle_request`` hardened: internal bugs become responses."""
+        try:
+            return self.handle_request(message)
+        except Exception as exc:  # noqa: BLE001 - daemon must not die
+            self._log(
+                f"internal error handling {message.get('op')!r}: "
+                f"{exc!r}\n{traceback.format_exc()}"
+            )
+            return error_response("internal", f"daemon internal error: {exc!r}")
+
+    def handle_request(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        """Answer one request object (transport-independent core)."""
+        op = message.get("op")
+        if not isinstance(op, str):
+            return error_response("bad_request", "request needs a string 'op'")
+        handler = self._ops.get(op)
+        if handler is None:
+            return error_response(
+                "bad_request",
+                f"unknown op {op!r}; expected one of: "
+                + ", ".join(sorted(self._ops)),
+            )
+        try:
+            return handler(message)
+        except JobNotFoundError as exc:
+            return error_response("job_not_found", str(exc))
+        except QueueFullError as exc:
+            return error_response("queue_full", str(exc))
+        except ConfigError as exc:
+            return error_response("bad_request", str(exc))
+
+    # -- ops -----------------------------------------------------------
+
+    def _op_ping(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        import repro
+
+        return ok_response(
+            "ping",
+            version=repro.__version__,
+            uptime_s=round(time.monotonic() - self._started_at, 3),
+            workers=self.pool.n_workers,
+            transport=self.pool.transport,
+            draining=self._draining,
+        )
+
+    def _op_submit(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        from ..experiments.base import get_experiment, resolve_scale
+
+        exp_id = message.get("experiment")
+        if not isinstance(exp_id, str) or not exp_id:
+            return error_response(
+                "bad_request", "submit needs a string 'experiment'"
+            )
+        scale = message.get("scale", "quick")
+        if not isinstance(scale, str):
+            return error_response("bad_request", "'scale' must be a string")
+        try:
+            get_experiment(exp_id)
+        except ConfigError as exc:
+            return error_response("unknown_experiment", str(exc))
+        scale = resolve_scale(scale)  # ConfigError -> bad_request upstream
+        raw_tasks: dict[str, tuple[str, t.Any]] = {}
+        plan = plan_experiment(exp_id, scale, raw_tasks)
+        include_result = bool(message.get("include_result", False))
+        tasks = {
+            key: (task_kind(key), owner_exp, payload)
+            for key, (owner_exp, payload) in raw_tasks.items()
+        }
+        with self.table.cond:
+            if self._draining:
+                return error_response(
+                    "shutting_down", "daemon is draining; retry elsewhere"
+                )
+            # The cache check happens under the table lock: a run that
+            # completes between an unlocked cache miss and table.submit
+            # would otherwise be re-opened (the cache entry is written
+            # *before* the run leaves the table, so under the lock one of
+            # the two must see the result).
+            if self.cache is not None and not self.table.has_open_run(plan.key):
+                cached = self.cache.get(plan.key)
+                if cached is not None and cached.exp_id == exp_id:
+                    job = self.table.submit_cached(
+                        exp_id, scale, plan.key, cached.to_dict()
+                    )
+                    return ok_response(
+                        "submit", **job.view(include_result=include_result)
+                    )
+            job = self.table.submit(exp_id, scale, plan, tasks)
+            view = job.view(include_result=include_result)
+        self._log(
+            f"submit {job.job_id}: {exp_id}@{scale} -> {job.state}"
+            + (f" (dedup={job.dedup})" if job.dedup else "")
+        )
+        return ok_response("submit", **view)
+
+    def _job_response(
+        self, op: str, job: Job, *, include_result: bool
+    ) -> dict[str, t.Any]:
+        if job.state == "failed":
+            return error_response(
+                "job_failed",
+                job.error or "job failed",
+                job_id=job.job_id,
+                state="failed",
+                attempts=job.attempts,
+                experiment=job.exp_id,
+            )
+        view = job.view(include_result=include_result)
+        if not job.terminal:
+            run = self.table.run_for(job)
+            if run is not None:
+                view["progress"] = run.progress()
+        return ok_response(op, **view)
+
+    def _op_status(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        job_id = message.get("job_id")
+        if not isinstance(job_id, str):
+            return error_response("bad_request", "status needs a string 'job_id'")
+        include_result = bool(message.get("include_result", False))
+        with self.table.cond:
+            job = self.table.get(job_id)
+            return self._job_response(
+                "status", job, include_result=include_result
+            )
+
+    def _op_wait(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        job_id = message.get("job_id")
+        if not isinstance(job_id, str):
+            return error_response("bad_request", "wait needs a string 'job_id'")
+        try:
+            timeout = float(message.get("timeout", 30.0))
+        except (TypeError, ValueError):
+            return error_response("bad_request", "'timeout' must be a number")
+        timeout = max(0.0, min(timeout, 300.0))
+        include_result = bool(message.get("include_result", True))
+        with self.table.cond:
+            job = self.table.wait_job(job_id, timeout)
+            return self._job_response("wait", job, include_result=include_result)
+
+    def _op_cancel(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        job_id = message.get("job_id")
+        if not isinstance(job_id, str):
+            return error_response("bad_request", "cancel needs a string 'job_id'")
+        with self.table.cond:
+            job = self.table.cancel(job_id)
+            return ok_response("cancel", **job.view(include_result=False))
+
+    def _op_jobs(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        with self.table.cond:
+            views = [
+                job.view(include_result=False) for job in self.table.jobs()
+            ]
+        return ok_response("jobs", jobs=views)
+
+    def _op_metrics(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        return ok_response(
+            "metrics",
+            metrics=self.registry.as_dict(),
+            worker_pids=self.pool.worker_pids(),
+        )
+
+    def _op_shutdown(self, message: dict[str, t.Any]) -> dict[str, t.Any]:
+        drain = bool(message.get("drain", True))
+        self._log(f"shutdown requested (drain={drain})")
+        self.request_shutdown(drain=drain)
+        return ok_response("shutdown", draining=drain)
+
+    # -- scheduler thread ----------------------------------------------
+
+    def _scheduler_loop(self) -> None:
+        table = self.table
+        while True:
+            with table.cond:
+                if self._stop_now:
+                    break
+                runs = table.next_runs()
+            for run in runs:
+                self._log(
+                    f"run {run.run_key[:12]}: dispatching {len(run.tasks)} "
+                    f"task(s) for {run.exp_id}@{run.scale}"
+                )
+                for key, (kind, exp_id, payload) in run.tasks.items():
+                    self.pool.submit(key, kind, exp_id, payload)
+            outcomes = self.pool.poll(timeout=0.05)
+            for outcome in outcomes:
+                if outcome.ok:
+                    with table.cond:
+                        ready = table.record_row(
+                            outcome.key, outcome.row, outcome.attempts
+                        )
+                    for run in ready:
+                        self._finish_run(run)
+                else:
+                    with table.cond:
+                        failed = table.fail_task(
+                            outcome.key, outcome.error or "", outcome.attempts
+                        )
+                    for run in failed:
+                        first_line = (outcome.error or "").splitlines()[0]
+                        self._log(
+                            f"run {run.run_key[:12]} failed after "
+                            f"{outcome.attempts} attempt(s): {first_line}"
+                        )
+            with table.cond:
+                table.evict_expired()
+                idle = (
+                    table.open_runs() == 0 and self.pool.outstanding() == 0
+                )
+                if self._stop_now or (self._draining and idle):
+                    break
+                if not runs and not outcomes and self.pool.outstanding() == 0:
+                    table.cond.wait(timeout=0.2)
+        self._teardown()
+
+    def _finish_run(self, run: RunState) -> None:
+        try:
+            result = assemble_plan(run.plan, run.scale, run.rows)
+        except Exception as exc:  # noqa: BLE001 - surfaced as job_failed
+            with self.table.cond:
+                self.table.fail_run(run.run_key, f"assembly failed: {exc!r}")
+            self._log(f"run {run.run_key[:12]} assembly failed: {exc!r}")
+            return
+        if self.cache is not None:
+            try:
+                self.cache.put(run.plan.key, result, run.scale)
+            except OSError as exc:
+                self._log(f"cache write failed (serving anyway): {exc}")
+        with self.table.cond:
+            jobs = self.table.complete_run(run.run_key, result.to_dict())
+        self._log(
+            f"run {run.run_key[:12]} done: {run.exp_id}@{run.scale} "
+            f"-> {len(jobs)} job(s) resolved"
+        )
+
+    def _teardown(self) -> None:
+        with self.table.cond:
+            # Anything still non-terminal at hard stop is cancelled.
+            for job in self.table.jobs():
+                if not job.terminal:
+                    job.state = "cancelled"
+                    job.finished = time.monotonic()
+            self.table.cond.notify_all()
+        self.pool.shutdown()
+        server = self._server
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        self._log("drained; exiting")

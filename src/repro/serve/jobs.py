@@ -1,0 +1,408 @@
+"""Job and run bookkeeping for the run-control daemon.
+
+Two levels of identity keep a million identical submissions cheap:
+
+* a **job** is one submission — the unit a client polls, waits on and
+  cancels; every ``submit`` creates one;
+* a **run** is one underlying execution, keyed by the runner's
+  content-addressed ``result_key`` (sha256 of experiment id + scale +
+  resolved configs + version).  Identical submissions *attach* to the
+  already-open run (``dedup: "run"``) or are answered straight from the
+  result cache (``dedup: "cache"``); only distinct runs consume queue
+  capacity.
+
+The **backpressure contract**: at most ``queue_bound`` runs may be open
+(queued + executing).  A submission that would open run number
+``queue_bound + 1`` raises :class:`~repro.errors.QueueFullError` — the
+daemon answers ``queue_full`` and the client backs off with jitter.
+Attaching to an open run never counts against the bound, so dedup
+traffic cannot be starved by its own popularity.
+
+Job lifecycle (see :data:`repro.serve.protocol.JOB_STATES`)::
+
+    queued ──▶ running ──▶ done
+       │           └─────▶ failed     (attempt budget exhausted)
+       └─────▶ cancelled              (cancel while still queued)
+
+Terminal jobs are evicted ``result_ttl`` seconds after finishing; a
+status query for an evicted id raises
+:class:`~repro.errors.JobNotFoundError` (resubmitting is cheap — the
+result cache still holds the run).
+
+All mutating methods must be called with :attr:`JobTable.cond` held;
+``locked()`` wraps that for callers.  One condition object serves every
+waiter: handler threads block in ``wait_job`` and the scheduler thread
+blocks between dispatch rounds.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+import typing as t
+from collections import deque
+
+from ..errors import JobNotFoundError, QueueFullError, ServeError
+
+__all__ = ["Job", "RunState", "JobTable"]
+
+
+@dataclasses.dataclass
+class Job:
+    """One submission's lifecycle record."""
+
+    job_id: str
+    exp_id: str
+    scale: str
+    run_key: str
+    state: str = "queued"
+    #: How this submission was deduplicated: None (it opened the run),
+    #: "run" (attached to an open run) or "cache" (answered from disk).
+    dedup: str | None = None
+    created: float = 0.0
+    finished: float | None = None
+    attempts: int = 0
+    error: str | None = None
+    #: ``ExperimentResult.to_dict()`` payload once done.
+    result: dict[str, t.Any] | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def view(self, *, include_result: bool = True) -> dict[str, t.Any]:
+        """The wire-format job status object."""
+        view: dict[str, t.Any] = {
+            "job_id": self.job_id,
+            "experiment": self.exp_id,
+            "scale": self.scale,
+            "key": self.run_key,
+            "state": self.state,
+            "dedup": self.dedup,
+            "attempts": self.attempts,
+        }
+        if self.error is not None:
+            view["error_detail"] = self.error
+        if include_result and self.result is not None:
+            view["result"] = self.result
+        return view
+
+
+@dataclasses.dataclass
+class RunState:
+    """One underlying execution shared by every attached job."""
+
+    run_key: str
+    exp_id: str
+    scale: str
+    plan: t.Any  # repro.runner.runner.ExperimentPlan
+    #: task key -> (kind, exp_id, payload), ready for pool submission.
+    tasks: dict[str, tuple[str, str, t.Any]]
+    job_ids: list[str] = dataclasses.field(default_factory=list)
+    rows: dict[str, t.Any] = dataclasses.field(default_factory=dict)
+    state: str = "queued"  # queued | running
+    attempts: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return all(key in self.rows for key in self.plan.point_keys)
+
+    def progress(self) -> dict[str, int]:
+        return {
+            "points_total": len(self.plan.point_keys),
+            "points_done": sum(
+                1 for key in self.plan.point_keys if key in self.rows
+            ),
+        }
+
+
+class JobTable:
+    """Thread-safe job/run registry with a bounded run queue and TTLs."""
+
+    def __init__(
+        self,
+        queue_bound: int = 32,
+        result_ttl: float = 900.0,
+        clock: t.Callable[[], float] = time.monotonic,
+    ) -> None:
+        if queue_bound < 1:
+            raise ServeError(f"queue_bound must be >= 1, got {queue_bound}")
+        self.queue_bound = queue_bound
+        self.result_ttl = result_ttl
+        self.cond = threading.Condition()
+        self._clock = clock
+        self._jobs: dict[str, Job] = {}
+        self._runs: dict[str, RunState] = {}
+        self._run_queue: deque[str] = deque()
+        #: task key -> run keys that still need its row.
+        self._task_owners: dict[str, set[str]] = {}
+        self._counter = 0
+        self.stats: dict[str, int] = {
+            "jobs_submitted": 0,
+            "dedup_cache_hits": 0,
+            "dedup_run_hits": 0,
+            "queue_rejections": 0,
+            "runs_started": 0,
+            "runs_completed": 0,
+            "runs_failed": 0,
+            "jobs_done": 0,
+            "jobs_failed": 0,
+            "jobs_cancelled": 0,
+            "jobs_evicted": 0,
+        }
+
+    @contextlib.contextmanager
+    def locked(self) -> t.Iterator[None]:
+        with self.cond:
+            yield
+
+    # -- submission (cond held) ----------------------------------------
+
+    def _new_job(self, exp_id: str, scale: str, run_key: str) -> Job:
+        self._counter += 1
+        job = Job(
+            job_id=f"job-{self._counter:06d}",
+            exp_id=exp_id,
+            scale=scale,
+            run_key=run_key,
+            created=self._clock(),
+        )
+        self._jobs[job.job_id] = job
+        self.stats["jobs_submitted"] += 1
+        return job
+
+    def submit_cached(
+        self, exp_id: str, scale: str, run_key: str, result: dict[str, t.Any]
+    ) -> Job:
+        """Record a submission answered entirely from the result cache."""
+        job = self._new_job(exp_id, scale, run_key)
+        job.state = "done"
+        job.dedup = "cache"
+        job.result = result
+        job.finished = self._clock()
+        self.stats["dedup_cache_hits"] += 1
+        self.stats["jobs_done"] += 1
+        self.cond.notify_all()
+        return job
+
+    def submit(
+        self,
+        exp_id: str,
+        scale: str,
+        plan: t.Any,
+        tasks: dict[str, tuple[str, str, t.Any]],
+    ) -> Job:
+        """Attach to the open run for ``plan.key`` or open a new one.
+
+        Raises :class:`~repro.errors.QueueFullError` when opening a new
+        run would exceed ``queue_bound`` open runs.
+        """
+        run = self._runs.get(plan.key)
+        if run is None:
+            if len(self._runs) >= self.queue_bound:
+                self.stats["queue_rejections"] += 1
+                raise QueueFullError(
+                    f"submission queue is full ({len(self._runs)}/"
+                    f"{self.queue_bound} open runs); retry with backoff"
+                )
+            run = RunState(
+                run_key=plan.key,
+                exp_id=exp_id,
+                scale=scale,
+                plan=plan,
+                tasks=tasks,
+            )
+            self._runs[plan.key] = run
+            self._run_queue.append(plan.key)
+            self.stats["runs_started"] += 1
+            job = self._new_job(exp_id, scale, plan.key)
+        else:
+            job = self._new_job(exp_id, scale, plan.key)
+            job.dedup = "run"
+            job.state = run.state if run.state == "running" else "queued"
+            self.stats["dedup_run_hits"] += 1
+        run.job_ids.append(job.job_id)
+        self.cond.notify_all()
+        return job
+
+    # -- scheduling (cond held) ----------------------------------------
+
+    def next_runs(self) -> list[RunState]:
+        """Pop every queued run for dispatch, marking it running."""
+        runs = []
+        while self._run_queue:
+            run = self._runs.get(self._run_queue.popleft())
+            if run is None:  # cancelled while queued
+                continue
+            run.state = "running"
+            for task_key in run.tasks:
+                self._task_owners.setdefault(task_key, set()).add(run.run_key)
+            for job_id in run.job_ids:
+                job = self._jobs.get(job_id)
+                if job is not None and job.state == "queued":
+                    job.state = "running"
+            runs.append(run)
+        return runs
+
+    def record_row(
+        self, task_key: str, row: t.Any, attempts: int
+    ) -> list[RunState]:
+        """Attach one completed task row; returns runs now fully rowed."""
+        ready = []
+        for run_key in sorted(self._task_owners.pop(task_key, ())):
+            run = self._runs.get(run_key)
+            if run is None:
+                continue
+            run.rows[task_key] = row
+            run.attempts = max(run.attempts, attempts)
+            if run.complete:
+                ready.append(run)
+        return ready
+
+    def fail_task(
+        self, task_key: str, error: str, attempts: int
+    ) -> list[RunState]:
+        """A task exhausted its attempt budget: fail every owning run."""
+        failed = []
+        for run_key in sorted(self._task_owners.pop(task_key, ())):
+            run = self._runs.pop(run_key, None)
+            if run is None:
+                continue
+            run.attempts = max(run.attempts, attempts)
+            self._finish_run_jobs(
+                run, state="failed", error=error, result=None
+            )
+            self.stats["runs_failed"] += 1
+            failed.append(run)
+        return failed
+
+    def complete_run(
+        self, run_key: str, result: dict[str, t.Any]
+    ) -> list[Job]:
+        """Mark a run assembled+cached; resolves every attached job."""
+        run = self._runs.pop(run_key, None)
+        if run is None:
+            return []
+        self.stats["runs_completed"] += 1
+        return self._finish_run_jobs(
+            run, state="done", error=None, result=result
+        )
+
+    def fail_run(self, run_key: str, error: str) -> list[Job]:
+        """Fail a run outright (e.g. assembly raised)."""
+        run = self._runs.pop(run_key, None)
+        if run is None:
+            return []
+        self.stats["runs_failed"] += 1
+        return self._finish_run_jobs(run, state="failed", error=error, result=None)
+
+    def _finish_run_jobs(
+        self,
+        run: RunState,
+        state: str,
+        error: str | None,
+        result: dict[str, t.Any] | None,
+    ) -> list[Job]:
+        now = self._clock()
+        finished = []
+        for job_id in run.job_ids:
+            job = self._jobs.get(job_id)
+            if job is None or job.terminal:
+                continue
+            job.state = state
+            job.error = error
+            job.result = result
+            job.attempts = run.attempts
+            job.finished = now
+            self.stats["jobs_done" if state == "done" else "jobs_failed"] += 1
+            finished.append(job)
+        self.cond.notify_all()
+        return finished
+
+    # -- queries (cond held) -------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(
+                f"unknown job id {job_id!r} (never submitted, or evicted "
+                f"after its {self.result_ttl:.0f}s result TTL)"
+            )
+        return job
+
+    def run_for(self, job: Job) -> RunState | None:
+        return self._runs.get(job.run_key)
+
+    def has_open_run(self, run_key: str) -> bool:
+        return run_key in self._runs
+
+    def wait_job(self, job_id: str, timeout: float) -> Job:
+        """Block until ``job_id`` is terminal (or ``timeout`` elapses)."""
+        deadline = self._clock() + timeout
+        job = self.get(job_id)
+        while not job.terminal:
+            remaining = deadline - self._clock()
+            if remaining <= 0:
+                break
+            self.cond.wait(timeout=min(remaining, 0.5))
+            job = self.get(job_id)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued job; running/terminal jobs are left unchanged.
+
+        If the cancelled job was the only one attached to a still-queued
+        run, the run is withdrawn too (its queue slot frees up).
+        """
+        job = self.get(job_id)
+        if job.state != "queued":
+            return job
+        job.state = "cancelled"
+        job.finished = self._clock()
+        self.stats["jobs_cancelled"] += 1
+        run = self._runs.get(job.run_key)
+        if run is not None and run.state == "queued":
+            live = [
+                jid
+                for jid in run.job_ids
+                if jid != job_id and not self._jobs[jid].terminal
+            ]
+            if not live:
+                self._runs.pop(run.run_key, None)
+                with contextlib.suppress(ValueError):
+                    self._run_queue.remove(run.run_key)
+        self.cond.notify_all()
+        return job
+
+    def evict_expired(self) -> int:
+        """Drop terminal jobs older than ``result_ttl``; returns count."""
+        now = self._clock()
+        expired = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.terminal
+            and job.finished is not None
+            and now - job.finished > self.result_ttl
+        ]
+        for job_id in expired:
+            del self._jobs[job_id]
+        self.stats["jobs_evicted"] += len(expired)
+        return len(expired)
+
+    # -- probes (lock-free reads of ints are fine for gauges) ----------
+
+    def queue_depth(self) -> int:
+        """Runs waiting for dispatch."""
+        return len(self._run_queue)
+
+    def open_runs(self) -> int:
+        """Runs queued or executing (what the bound applies to)."""
+        return len(self._runs)
+
+    def active_jobs(self) -> int:
+        return sum(1 for job in self._jobs.values() if not job.terminal)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())

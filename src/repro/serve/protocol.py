@@ -1,0 +1,131 @@
+"""Wire protocol of the run-control daemon: line-delimited JSON.
+
+One request per line, one response per line, both JSON objects — the
+simplest protocol that ``nc`` can speak and a thread-per-connection
+server can serve::
+
+    -> {"op": "submit", "experiment": "fig5_bandwidth_3g", "scale": "quick"}
+    <- {"ok": true, "op": "submit", "job_id": "job-000001", "state": "queued",
+        "dedup": null, "key": "9f2c..."}
+
+Every response carries ``"ok"``.  Failures are *typed*: ``"error"`` is a
+stable machine-readable code from :data:`ERROR_CODES` and ``"message"``
+is for humans.  :func:`exception_for` maps a code back to the matching
+:mod:`repro.errors` class, so ``ServeClient`` raises
+:class:`~repro.errors.QueueFullError` where the daemon answered
+``queue_full`` — the same exception taxonomy on both sides of the wire.
+
+Malformed input (bad JSON, non-object, oversized line, unknown op) is a
+``bad_request`` *response*, never a daemon crash and never a dropped
+connection — chaos tests feed garbage down the socket and assert the
+daemon keeps serving.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as t
+
+from ..errors import (
+    ConfigError,
+    JobFailedError,
+    JobNotFoundError,
+    ProtocolError,
+    QueueFullError,
+    ServeError,
+)
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ERROR_CODES",
+    "encode",
+    "decode",
+    "ok_response",
+    "error_response",
+    "exception_for",
+]
+
+#: Upper bound on one request/response line (1 MiB of JSON is already a
+#: pathological submission; beyond it the connection cannot be resynced).
+MAX_LINE_BYTES = 1 << 20
+
+#: Job lifecycle: queued -> running -> {done, failed}; queued -> cancelled.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: Stable error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",
+    "unknown_experiment",
+    "queue_full",
+    "shutting_down",
+    "job_failed",
+    "job_not_found",
+    "internal",
+)
+
+_CODE_TO_EXC: dict[str, type[Exception]] = {
+    "bad_request": ServeError,
+    "unknown_experiment": ConfigError,
+    "queue_full": QueueFullError,
+    "shutting_down": QueueFullError,  # retryable backpressure, same as full
+    "job_failed": JobFailedError,
+    "job_not_found": JobNotFoundError,
+    "internal": ServeError,
+}
+
+
+def encode(message: dict[str, t.Any]) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    data = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(data) + 1 > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds MAX_LINE_BYTES"
+        )
+    return data + b"\n"
+
+
+def decode(line: bytes | str) -> dict[str, t.Any]:
+    """Parse one line into a request/response object.
+
+    Raises :class:`~repro.errors.ProtocolError` on anything that is not
+    a JSON object within the size bound — callers turn that into a
+    ``bad_request`` response.
+    """
+    if isinstance(line, str):
+        line = line.encode("utf-8")
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line of {len(line)} bytes exceeds MAX_LINE_BYTES")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def ok_response(op: str, **fields: t.Any) -> dict[str, t.Any]:
+    """A success response for ``op``."""
+    return {"ok": True, "op": op, **fields}
+
+
+def error_response(
+    code: str, message: str, **fields: t.Any
+) -> dict[str, t.Any]:
+    """A typed failure response (``code`` must be in :data:`ERROR_CODES`)."""
+    if code not in ERROR_CODES:
+        raise ProtocolError(f"unknown error code {code!r}")
+    return {"ok": False, "error": code, "message": message, **fields}
+
+
+def exception_for(response: dict[str, t.Any]) -> Exception:
+    """The typed exception a client should raise for an error response."""
+    code = str(response.get("error", "internal"))
+    message = str(response.get("message", "")) or f"daemon error {code!r}"
+    exc_type = _CODE_TO_EXC.get(code, ServeError)
+    return exc_type(message)

@@ -66,6 +66,36 @@ class TestLoadHistory:
     def test_empty_dir(self, tmp_path):
         assert load_history(tmp_path) == []
 
+    def test_each_skipped_file_warns_once(self, tmp_path):
+        (tmp_path / "BENCH_empty.json").write_text("")
+        (tmp_path / "BENCH_truncated.json").write_text('{"totals": {"wal')
+        (tmp_path / "BENCH_no_totals.json").write_text('{"rev": "x"}')
+        (tmp_path / "BENCH_str_totals.json").write_text(
+            '{"totals": "not a dict"}'
+        )
+        (tmp_path / "BENCH_nan_totals.json").write_text(
+            '{"totals": {"wall_time_s": "fast", "events_processed": 7}}'
+        )
+        _write(tmp_path, "BENCH_ok.json",
+               _payload("ok", "2026-01-01T00:00:00", 1.0, 100))
+        warnings: list[str] = []
+        history = load_history(tmp_path, warn=warnings.append)
+        assert [p["rev"] for p in history] == ["ok"]
+        assert len(warnings) == 5
+        assert all(w.startswith("bench: skipping BENCH_") for w in warnings)
+        reasons = "\n".join(warnings)
+        assert "empty file" in reasons
+        assert "malformed JSON" in reasons
+        assert "no 'totals'" in reasons
+        assert "non-numeric 'totals'" in reasons
+
+    def test_survivors_still_render(self, tmp_path):
+        (tmp_path / "BENCH_dead.json").write_text("\x00\x00")
+        _write(tmp_path, "BENCH_ok.json",
+               _payload("ok", "2026-01-01T00:00:00", 1.0, 100))
+        text = render_history(load_history(tmp_path))
+        assert "bench history (1 snapshots)" in text
+
 
 class TestRenderHistory:
     def test_table_and_sparklines(self, tmp_path):

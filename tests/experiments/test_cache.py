@@ -179,6 +179,34 @@ class TestCacheBehaviour:
             assert summary.executed_tasks == 3
             assert not summary.reports[0].cached
 
+    def test_corrupt_entry_logs_one_warning(
+        self, instrumented_experiment, tmp_path, caplog
+    ):
+        import logging
+
+        ExperimentRunner(jobs=1, cache_dir=tmp_path).run(
+            instrumented_experiment, scale="quick"
+        )
+        (entry,) = list(tmp_path.rglob("*.json"))
+        entry.write_text('{"key": "wrong shape"}', encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            ExperimentRunner(jobs=1, cache_dir=tmp_path).run(
+                instrumented_experiment, scale="quick"
+            )
+        corrupt_warnings = [
+            record
+            for record in caplog.records
+            if "corrupt" in record.message and "treating as a miss" in record.message
+        ]
+        assert len(corrupt_warnings) == 1
+
+    def test_missing_entry_is_a_silent_miss(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            assert ResultCache(tmp_path).get("deadbeef") is None
+        assert not caplog.records, "a plain miss must not warn"
+
     def test_version_bump_invalidates(
         self, instrumented_experiment, tmp_path, monkeypatch
     ):

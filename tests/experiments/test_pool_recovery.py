@@ -1,0 +1,117 @@
+"""ExperimentRunner survival of worker death under ``--jobs N``.
+
+Before the supervised-recovery work, one grid point calling
+``os._exit`` (a stand-in for OOM kills and segfaults) collapsed the
+whole invocation with ``BrokenProcessPool``.  These tests pin the new
+contract: the pool is rebuilt, innocent points complete, and only a
+point that *keeps* killing workers becomes a per-point error report.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.base import (
+    ExperimentResult,
+    register_grid_experiment,
+    unregister_experiment,
+)
+from repro.runner import ExperimentRunner
+
+
+def _register(exp_id: str, run_point):
+    def grid(scale):
+        return ("a", "b", "c")
+
+    def assemble(scale, specs, rows):
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=exp_id,
+            headers=("x",),
+            rows=tuple((row,) for row in rows),
+            paper={},
+            measured={"rows": float(len(rows))},
+        )
+
+    register_grid_experiment(
+        exp_id, grid=grid, run_point=run_point, assemble=assemble
+    )
+    return exp_id
+
+
+@pytest.fixture
+def kill_once_experiment(tmp_path):
+    marker = tmp_path / "armed"
+
+    def run_point(spec):
+        if spec == "b" and not marker.exists():
+            marker.write_text("armed")
+            os._exit(21)
+        return f"ok-{spec}"
+
+    exp_id = _register("recovery_kill_once", run_point)
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.fixture
+def poison_experiment():
+    def run_point(spec):
+        if spec == "b":
+            os._exit(21)
+        return f"ok-{spec}"
+
+    exp_id = _register("recovery_poison", run_point)
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.fixture
+def healthy_experiment():
+    exp_id = _register("recovery_healthy", lambda spec: f"fine-{spec}")
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.mark.chaos
+class TestPoolRecovery:
+    def test_worker_killed_once_recovers_on_rebuilt_pool(
+        self, kill_once_experiment, tmp_path
+    ):
+        runner = ExperimentRunner(jobs=2, cache_dir=tmp_path / "cache")
+        summary = runner.run_many([kill_once_experiment], scale="quick")
+        (report,) = summary.reports
+        assert report.error is None
+        assert report.result is not None
+        assert report.result.rows == (("ok-a",), ("ok-b",), ("ok-c",))
+        assert summary.failed == []
+
+    def test_poison_point_becomes_error_row_others_complete(
+        self, poison_experiment, healthy_experiment, tmp_path
+    ):
+        runner = ExperimentRunner(jobs=2, cache_dir=tmp_path / "cache")
+        summary = runner.run_many(
+            [poison_experiment, healthy_experiment], scale="quick"
+        )
+        by_id = {report.exp_id: report for report in summary.reports}
+
+        poisoned = by_id[poison_experiment]
+        assert poisoned.result is None
+        assert poisoned.error is not None
+        assert "1 of 3 point(s) failed" in poisoned.error
+
+        healthy = by_id[healthy_experiment]
+        assert healthy.error is None
+        assert healthy.result.rows == (
+            ("fine-a",),
+            ("fine-b",),
+            ("fine-c",),
+        )
+        assert summary.failed == [poisoned]
+        # A failed experiment must not poison the cache either.
+        rerun = ExperimentRunner(
+            jobs=1, cache_dir=tmp_path / "cache"
+        ).run_many([healthy_experiment], scale="quick")
+        assert rerun.reports[0].cached

@@ -1,0 +1,56 @@
+"""Importable fault functions for the chaos tests.
+
+The supervised pool's ``"call"`` task kind executes an importable
+``(module, function, args)`` triple inside a worker, so every failure
+mode the supervisor must survive lives here as a tiny deterministic
+function.  "Deterministic" matters: a chaos test that only *sometimes*
+kills its worker is a flake, so one-shot faults arm themselves through a
+marker file the test owns.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def nap(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def boom(message: str) -> None:
+    raise RuntimeError(message)
+
+
+def boom_once(marker: str) -> str:
+    """Raise on the first call (per marker file), succeed after."""
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        raise RuntimeError("armed failure (first attempt)")
+    return "recovered"
+
+
+def die() -> None:
+    """Kill the worker process outright — no traceback, no cleanup."""
+    os._exit(21)
+
+
+def die_once(marker: str) -> str:
+    """Kill the worker on the first call (per marker file), succeed after."""
+    if not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        os._exit(21)
+    return "recovered"
+
+
+def wedge() -> None:
+    """Stop the whole worker process (heartbeat thread included)."""
+    os.kill(os.getpid(), signal.SIGSTOP)

@@ -1,0 +1,368 @@
+"""End-to-end daemon coverage: dedup, backpressure, garbage, chaos.
+
+Non-chaos tests run the daemon with the ``inproc`` pool transport
+(inline execution, deterministic on a 1-CPU CI box); the chaos class
+uses real worker processes so it can SIGKILL them mid-run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import logging
+import os
+import signal
+import socket
+import time
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    JobFailedError,
+    JobNotFoundError,
+    QueueFullError,
+    ServeError,
+)
+from repro.experiments.base import (
+    ExperimentResult,
+    register_grid_experiment,
+    unregister_experiment,
+)
+from repro.serve import RunControlDaemon, ServeClient, ServeConfig
+from repro.serve.protocol import MAX_LINE_BYTES, decode, encode
+
+
+def _register(exp_id: str, run_point, n_points: int = 3) -> str:
+    def grid(scale):
+        return tuple(range(n_points))
+
+    def assemble(scale, specs, rows):
+        return ExperimentResult(
+            exp_id=exp_id,
+            title=exp_id,
+            headers=("x",),
+            rows=tuple((row,) for row in rows),
+            paper={},
+            measured={"total": float(sum(rows))},
+        )
+
+    register_grid_experiment(
+        exp_id, grid=grid, run_point=run_point, assemble=assemble
+    )
+    return exp_id
+
+
+@pytest.fixture
+def fast_experiment():
+    exp_id = _register("serve_t_fast", lambda spec: spec * 2)
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.fixture
+def slow_experiment():
+    def run_point(spec):
+        time.sleep(0.4)
+        return spec
+
+    exp_id = _register("serve_t_slow", run_point)
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.fixture
+def exiting_experiment():
+    def run_point(spec):
+        os._exit(21)
+
+    exp_id = _register("serve_t_exit", run_point, n_points=1)
+    yield exp_id
+    unregister_experiment(exp_id)
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    started: list[RunControlDaemon] = []
+
+    def factory(**overrides) -> tuple[RunControlDaemon, ServeClient]:
+        options = {
+            "port": 0,
+            "workers": 2,
+            "pool_transport": "inproc",
+            "cache_dir": str(tmp_path / "cache"),
+            "backoff_base": 0.01,
+        }
+        options.update(overrides)
+        daemon = RunControlDaemon(ServeConfig(**options), log=lambda m: None)
+        host, port = daemon.start()
+        started.append(daemon)
+        return daemon, ServeClient(host, port, timeout=10.0)
+
+    yield factory
+    for daemon in started:
+        daemon.request_shutdown(drain=False)
+        daemon.join(timeout=15.0)
+
+
+def wait_for(predicate, timeout: float = 10.0, what: str = "condition"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+class TestRequestValidation:
+    """Transport-independent request hardening (no scheduler needed)."""
+
+    @pytest.fixture
+    def daemon(self):
+        return RunControlDaemon(
+            ServeConfig(pool_transport="inproc"), log=lambda m: None
+        )
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            {},
+            {"op": 7},
+            {"op": "no_such_op"},
+            {"op": "submit"},
+            {"op": "submit", "experiment": 5},
+            {"op": "submit", "experiment": "x", "scale": 3},
+            {"op": "status"},
+            {"op": "wait", "job_id": "j", "timeout": "soon"},
+            {"op": "cancel"},
+        ],
+    )
+    def test_malformed_requests_get_bad_request(self, daemon, message):
+        response = daemon.handle_request(message)
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+
+    def test_unknown_experiment_is_typed(self, daemon):
+        response = daemon.handle_request(
+            {"op": "submit", "experiment": "no_such_experiment"}
+        )
+        assert response["error"] == "unknown_experiment"
+
+    def test_unknown_job_id_is_typed(self, daemon):
+        response = daemon.handle_request({"op": "status", "job_id": "job-0"})
+        assert response["error"] == "job_not_found"
+
+    def test_internal_bug_becomes_internal_response(self, daemon):
+        daemon._ops["ping"] = lambda message: 1 / 0
+        response = daemon.dispatch({"op": "ping"})
+        assert response["ok"] is False
+        assert response["error"] == "internal"
+
+
+class TestHappyPath:
+    def test_submit_wait_result_and_cache_dedup(
+        self, daemon_factory, fast_experiment
+    ):
+        daemon, client = daemon_factory()
+        final = client.submit_and_wait(fast_experiment, scale="quick")
+        assert final["state"] == "done"
+        result = ExperimentResult.from_dict(final["result"])
+        assert result.measured["total"] == 6.0  # 0*2 + 1*2 + 2*2
+
+        second = client.submit(fast_experiment, scale="quick")
+        assert second["state"] == "done"
+        assert second["dedup"] == "cache"
+        metrics = client.metrics()
+        assert metrics["serve.runs_started"] == 1.0
+        assert metrics["serve.dedup_cache_hits"] == 1.0
+
+    def test_ping_reports_daemon_identity(self, daemon_factory):
+        _, client = daemon_factory()
+        pong = client.ping()
+        assert pong["transport"] == "inproc"
+        assert pong["workers"] == 2
+        assert pong["draining"] is False
+
+    def test_hundred_concurrent_identical_submissions_one_run(
+        self, daemon_factory, slow_experiment
+    ):
+        daemon, client = daemon_factory()
+        with concurrent.futures.ThreadPoolExecutor(max_workers=32) as pool:
+            submissions = list(
+                pool.map(
+                    lambda _: client.submit(slow_experiment, scale="quick"),
+                    range(100),
+                )
+            )
+        job_ids = {s["job_id"] for s in submissions}
+        assert len(job_ids) == 100, "every submission gets its own job"
+        for submitted in submissions:
+            if submitted["state"] != "done":
+                final = client.wait(submitted["job_id"], timeout=60.0)
+                assert final["state"] == "done"
+        metrics = client.metrics()
+        assert metrics["serve.runs_started"] == 1.0, (
+            "100 identical submissions must share exactly one underlying run"
+        )
+        assert metrics["serve.pool.tasks_done"] == 3.0
+
+    def test_cancel_queued_job_and_withdrawn_run(
+        self, daemon_factory, slow_experiment, fast_experiment
+    ):
+        daemon, client = daemon_factory()
+        slow = client.submit(slow_experiment, scale="quick")
+        wait_for(
+            lambda: client.status(slow["job_id"])["state"] == "running",
+            what="slow run to start",
+        )
+        # The scheduler thread is busy executing inline, so this job
+        # stays queued long enough to cancel deterministically.
+        queued = client.submit(fast_experiment, scale="quick")
+        assert queued["state"] == "queued"
+        cancelled = client.cancel(queued["job_id"])
+        assert cancelled["state"] == "cancelled"
+        assert client.wait(slow["job_id"], timeout=30.0)["state"] == "done"
+        assert client.status(queued["job_id"])["state"] == "cancelled"
+
+    def test_result_ttl_evicts_terminal_jobs(
+        self, daemon_factory, fast_experiment
+    ):
+        daemon, client = daemon_factory(result_ttl=0.2)
+        final = client.submit_and_wait(fast_experiment, scale="quick")
+        wait_for(
+            lambda: daemon.table.stats["jobs_evicted"] >= 1,
+            what="TTL eviction",
+        )
+        with pytest.raises(JobNotFoundError):
+            client.status(final["job_id"])
+        # Resubmission is cheap: the result cache still holds the run.
+        again = client.submit(fast_experiment, scale="quick")
+        assert again["dedup"] == "cache"
+
+
+class TestBackpressure:
+    def test_queue_full_is_explicit_and_retry_recovers(
+        self, daemon_factory, slow_experiment, fast_experiment
+    ):
+        daemon, client = daemon_factory(queue_bound=1)
+        slow = client.submit(slow_experiment, scale="quick")
+        wait_for(
+            lambda: client.status(slow["job_id"])["state"] == "running",
+            what="slow run to start",
+        )
+        with pytest.raises(QueueFullError):
+            client.submit(
+                fast_experiment, scale="quick", retry_backpressure=False
+            )
+        # The bundled jittered retry outlives the bounded queue episode.
+        final = client.submit(fast_experiment, scale="quick")
+        assert client.wait(final["job_id"], timeout=60.0)["state"] == "done"
+        assert client.metrics()["serve.queue_rejections"] >= 1.0
+
+
+class TestGarbageInput:
+    def request_raw(self, client: ServeClient, payload: bytes) -> dict:
+        with socket.create_connection(
+            (client.host, client.port), timeout=10.0
+        ) as conn:
+            conn.sendall(payload)
+            with conn.makefile("rb") as reader:
+                return decode(reader.readline(MAX_LINE_BYTES + 1))
+
+    def test_garbage_lines_get_bad_request_and_daemon_survives(
+        self, daemon_factory
+    ):
+        _, client = daemon_factory()
+        for payload in (b"not json at all\n", b"[1, 2, 3]\n", b'"scalar"\n'):
+            response = self.request_raw(client, payload)
+            assert response["ok"] is False
+            assert response["error"] == "bad_request"
+        assert client.ping()["ok"] is True
+
+    def test_oversized_line_is_rejected_and_connection_dropped(
+        self, daemon_factory
+    ):
+        _, client = daemon_factory()
+        with socket.create_connection(
+            (client.host, client.port), timeout=10.0
+        ) as conn:
+            conn.sendall(b"x" * (MAX_LINE_BYTES + 16) + b"\n")
+            with conn.makefile("rb") as reader:
+                response = decode(reader.readline(MAX_LINE_BYTES + 1))
+                assert response["error"] == "bad_request"
+                assert reader.readline() == b"", "connection must be dropped"
+        assert client.ping()["ok"] is True
+
+    def test_blank_lines_are_skipped(self, daemon_factory):
+        _, client = daemon_factory()
+        response = self.request_raw(client, b"\n\n" + encode({"op": "ping"}))
+        assert response["ok"] is True
+
+
+class TestCacheRobustness:
+    def test_corrupt_cache_entry_degrades_to_logged_rerun(
+        self, daemon_factory, fast_experiment, tmp_path, caplog
+    ):
+        daemon, client = daemon_factory()
+        first = client.submit_and_wait(fast_experiment, scale="quick")
+        assert first["state"] == "done"
+        entries = list((tmp_path / "cache").rglob("*.json"))
+        assert entries, "the run must have been cached"
+        for entry in entries:
+            entry.write_text("{truncated garbage", encoding="utf-8")
+        with caplog.at_level(logging.WARNING, logger="repro.runner.cache"):
+            second = client.submit_and_wait(fast_experiment, scale="quick")
+        assert second["state"] == "done"
+        assert second["result"] == first["result"]
+        assert client.metrics()["serve.runs_started"] == 2.0, (
+            "a corrupt entry must be a re-run, not a crash or a stale hit"
+        )
+        assert any("corrupt" in record.message for record in caplog.records)
+
+
+class TestShutdown:
+    def test_drain_then_exit(self, daemon_factory, fast_experiment):
+        daemon, client = daemon_factory()
+        final = client.submit_and_wait(fast_experiment, scale="quick")
+        assert final["state"] == "done"
+        assert client.shutdown(drain=True)["ok"] is True
+        daemon.join(timeout=15.0)
+        assert not daemon.running()
+        with pytest.raises((ServeError, OSError)):
+            client.ping()
+
+
+@pytest.mark.chaos
+class TestChaos:
+    def test_sigkilled_worker_mid_run_still_completes_the_job(
+        self, daemon_factory, slow_experiment
+    ):
+        daemon, client = daemon_factory(pool_transport="mp", workers=2)
+        if daemon.pool.transport != "mp":
+            pytest.skip("environment cannot spawn worker processes")
+        submitted = client.submit(slow_experiment, scale="quick")
+        wait_for(
+            lambda: daemon.pool.busy_pids(), what="a worker to go busy"
+        )
+        os.kill(daemon.pool.busy_pids()[0], signal.SIGKILL)
+        final = client.wait(submitted["job_id"], timeout=60.0)
+        assert final["state"] == "done"
+        metrics = client.metrics()
+        assert metrics["serve.pool.worker_restarts"] >= 1.0
+
+    def test_attempt_budget_exhaustion_is_typed_and_daemon_keeps_serving(
+        self, daemon_factory, exiting_experiment, fast_experiment
+    ):
+        daemon, client = daemon_factory(
+            pool_transport="mp", workers=2, max_attempts=2
+        )
+        if daemon.pool.transport != "mp":
+            pytest.skip("environment cannot spawn worker processes")
+        submitted = client.submit(exiting_experiment, scale="quick")
+        with pytest.raises(JobFailedError) as excinfo:
+            client.wait(submitted["job_id"], timeout=60.0)
+        assert "2 attempt(s)" in str(excinfo.value)
+        # The daemon survived the poison job and still runs real work.
+        assert client.ping()["ok"] is True
+        final = client.submit_and_wait(fast_experiment, scale="quick")
+        assert final["state"] == "done"
+        assert client.metrics()["serve.jobs_failed"] == 1.0

@@ -1,0 +1,172 @@
+"""JobTable unit coverage: dedup, backpressure, lifecycle, TTL eviction.
+
+Everything here runs against a fake clock — no daemon, no threads — so
+the scheduling policy is pinned independently of the transport.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import JobNotFoundError, QueueFullError, ServeError
+from repro.runner import ExperimentPlan
+from repro.serve import JobTable
+
+
+def make_plan(exp_id: str, n_points: int = 2) -> ExperimentPlan:
+    point_keys = tuple(f"{exp_id}:p{i}" for i in range(n_points))
+    return ExperimentPlan(
+        exp_id=exp_id,
+        key=f"runkey-{exp_id}",
+        specs=tuple(range(n_points)),
+        point_keys=point_keys,
+        n_scheduled=n_points,
+    )
+
+
+def make_tasks(plan: ExperimentPlan) -> dict:
+    return {key: ("point", plan.exp_id, i) for i, key in enumerate(plan.point_keys)}
+
+
+@pytest.fixture
+def clock():
+    return [0.0]
+
+
+@pytest.fixture
+def table(clock):
+    return JobTable(queue_bound=2, result_ttl=10.0, clock=lambda: clock[0])
+
+
+def submit(table: JobTable, exp_id: str, n_points: int = 2):
+    plan = make_plan(exp_id, n_points)
+    with table.cond:
+        return table.submit(exp_id, "quick", plan, make_tasks(plan)), plan
+
+
+class TestBackpressure:
+    def test_bound_applies_to_distinct_open_runs(self, table):
+        submit(table, "a")
+        submit(table, "b")
+        with pytest.raises(QueueFullError):
+            submit(table, "c")
+        assert table.stats["queue_rejections"] == 1
+
+    def test_identical_submissions_attach_not_reject(self, table):
+        job_a, _ = submit(table, "a")
+        submit(table, "b")  # table now at its bound of 2 open runs
+        job_dup, _ = submit(table, "a")
+        assert job_dup.dedup == "run"
+        assert job_dup.run_key == job_a.run_key
+        assert table.open_runs() == 2
+        assert table.stats["dedup_run_hits"] == 1
+
+    def test_cancel_of_sole_job_frees_the_queue_slot(self, table):
+        job_a, _ = submit(table, "a")
+        submit(table, "b")
+        with table.cond:
+            cancelled = table.cancel(job_a.job_id)
+        assert cancelled.state == "cancelled"
+        submit(table, "c")  # the freed slot is reusable
+        assert table.open_runs() == 2
+
+    def test_rejects_nonsense_bound(self):
+        with pytest.raises(ServeError):
+            JobTable(queue_bound=0)
+
+
+class TestLifecycle:
+    def test_full_run_lifecycle(self, table):
+        job, plan = submit(table, "a")
+        assert job.state == "queued"
+        with table.cond:
+            (run,) = table.next_runs()
+        assert run.state == "running"
+        assert table.get(job.job_id).state == "running"
+
+        with table.cond:
+            assert table.record_row(plan.point_keys[0], {"x": 1}, 1) == []
+            (ready,) = table.record_row(plan.point_keys[1], {"x": 2}, 2)
+        assert ready is run
+        assert run.progress() == {"points_total": 2, "points_done": 2}
+
+        with table.cond:
+            (finished,) = table.complete_run(run.run_key, {"result": True})
+        assert finished.job_id == job.job_id
+        assert finished.state == "done"
+        assert finished.attempts == 2
+        assert finished.result == {"result": True}
+        assert table.open_runs() == 0
+
+    def test_shared_task_feeds_every_owning_run(self, table):
+        # Two distinct runs that happen to share one task key.
+        plan_a = make_plan("a", 1)
+        plan_b = ExperimentPlan(
+            exp_id="b",
+            key="runkey-b",
+            specs=(0,),
+            point_keys=plan_a.point_keys,
+            n_scheduled=0,
+        )
+        with table.cond:
+            table.submit("a", "quick", plan_a, make_tasks(plan_a))
+            table.submit("b", "quick", plan_b, make_tasks(plan_b))
+            table.next_runs()
+            ready = table.record_row(plan_a.point_keys[0], {"x": 1}, 1)
+        assert sorted(run.exp_id for run in ready) == ["a", "b"]
+
+    def test_failed_task_fails_every_attached_job(self, table):
+        job_1, plan = submit(table, "a")
+        job_2, _ = submit(table, "a")
+        with table.cond:
+            table.next_runs()
+            (failed_run,) = table.fail_task(
+                plan.point_keys[0], "worker kept dying", 3
+            )
+        assert failed_run.run_key == plan.key
+        for job in (job_1, job_2):
+            assert table.get(job.job_id).state == "failed"
+            assert "worker kept dying" in table.get(job.job_id).error
+            assert table.get(job.job_id).attempts == 3
+        assert table.stats["jobs_failed"] == 2
+        assert table.open_runs() == 0
+
+    def test_wait_job_times_out_without_terminal_state(self, table, clock):
+        job, _ = submit(table, "a")
+        with table.cond:
+            waited = table.wait_job(job.job_id, timeout=0.0)
+        assert waited.state == "queued"
+
+    def test_submit_cached_is_immediately_done(self, table):
+        with table.cond:
+            job = table.submit_cached("a", "quick", "runkey-a", {"r": 1})
+        assert job.state == "done"
+        assert job.dedup == "cache"
+        assert job.result == {"r": 1}
+        assert table.open_runs() == 0, "cache answers must not hold a slot"
+
+
+class TestEviction:
+    def test_terminal_jobs_evicted_after_ttl(self, table, clock):
+        job, plan = submit(table, "a")
+        with table.cond:
+            table.next_runs()
+            for key in plan.point_keys:
+                table.record_row(key, {}, 1)
+            table.complete_run(plan.key, {"r": 1})
+        clock[0] = 10.1
+        with table.cond:
+            assert table.evict_expired() == 1
+            with pytest.raises(JobNotFoundError):
+                table.get(job.job_id)
+
+    def test_active_jobs_survive_eviction(self, table, clock):
+        job, _ = submit(table, "a")
+        clock[0] = 100.0
+        with table.cond:
+            assert table.evict_expired() == 0
+        assert table.get(job.job_id).state == "queued"
+
+    def test_unknown_job_id_raises(self, table):
+        with pytest.raises(JobNotFoundError):
+            table.get("job-999999")

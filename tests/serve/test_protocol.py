@@ -1,0 +1,87 @@
+"""Wire-format coverage: framing, size limits, typed error mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    JobFailedError,
+    JobNotFoundError,
+    ProtocolError,
+    QueueFullError,
+    ServeError,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    decode,
+    encode,
+    error_response,
+    exception_for,
+    ok_response,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"op": "submit", "experiment": "x", "n": 3, "f": 0.5}
+        assert decode(encode(message)) == message
+
+    def test_encode_is_one_line(self):
+        line = encode({"op": "ping", "note": "a\nb"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1, "payload newlines must be escaped"
+
+    def test_decode_rejects_bad_json(self):
+        with pytest.raises(ProtocolError):
+            decode(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode(b"[1, 2, 3]\n")
+
+    def test_oversized_messages_rejected_both_ways(self):
+        huge = {"op": "submit", "blob": "x" * (MAX_LINE_BYTES + 1)}
+        with pytest.raises(ProtocolError):
+            encode(huge)
+        with pytest.raises(ProtocolError):
+            decode(b"x" * (MAX_LINE_BYTES + 1))
+
+
+class TestResponses:
+    def test_ok_response_shape(self):
+        response = ok_response("ping", version="1.0")
+        assert response["ok"] is True
+        assert response["op"] == "ping"
+        assert response["version"] == "1.0"
+
+    def test_error_response_shape(self):
+        response = error_response("queue_full", "try later")
+        assert response["ok"] is False
+        assert response["error"] == "queue_full"
+        assert "try later" in response["message"]
+
+    def test_error_response_rejects_unknown_code(self):
+        with pytest.raises(ProtocolError):
+            error_response("not_a_code", "nope")
+
+
+class TestExceptionMapping:
+    @pytest.mark.parametrize(
+        ("code", "exc_type"),
+        [
+            ("queue_full", QueueFullError),
+            ("shutting_down", QueueFullError),
+            ("job_failed", JobFailedError),
+            ("job_not_found", JobNotFoundError),
+            ("unknown_experiment", ConfigError),
+            ("bad_request", ServeError),
+            ("internal", ServeError),
+        ],
+    )
+    def test_every_code_maps_to_a_typed_exception(self, code, exc_type):
+        assert code in ERROR_CODES
+        exc = exception_for(error_response(code, "detail text"))
+        assert isinstance(exc, exc_type)
+        assert "detail text" in str(exc)

@@ -1,0 +1,145 @@
+"""Supervised pool coverage: happy path, retry, crash/kill/hang recovery.
+
+The chaos-marked tests genuinely kill, wedge and poison worker
+processes; they are deterministic (one-shot faults arm through marker
+files) but process-heavy, so they live outside the tier1 default suite.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runner import SupervisedWorkerPool
+
+TASKS = "tests.serve._tasks"
+
+
+def call(func: str, *args):
+    return ("call", "", (TASKS, func, list(args)))
+
+
+class TestBasics:
+    @pytest.mark.parametrize("transport", ["mp", "inproc"])
+    def test_tasks_complete_and_preserve_keys(self, transport):
+        with SupervisedWorkerPool(workers=2, transport=transport) as pool:
+            for i in range(5):
+                assert pool.submit(f"k{i}", *call("add", i, 10))
+            outcomes = pool.drain()
+        assert sorted(o.key for o in outcomes) == [f"k{i}" for i in range(5)]
+        assert all(o.ok and o.attempts == 1 for o in outcomes)
+        assert {o.key: o.row for o in outcomes} == {
+            f"k{i}": i + 10 for i in range(5)
+        }
+        assert pool.stats["tasks_done"] == 5
+        assert pool.stats["worker_restarts"] == 0
+
+    def test_submit_is_idempotent_per_outstanding_key(self):
+        pool = SupervisedWorkerPool(workers=1, transport="inproc")
+        assert pool.submit("k", *call("add", 1, 1))
+        assert not pool.submit("k", *call("add", 2, 2))
+        (outcome,) = pool.drain()
+        assert outcome.row == 2
+        assert pool.submit("k", *call("add", 3, 3)), "resolved keys reusable"
+        pool.shutdown()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(SimulationError):
+            SupervisedWorkerPool(workers=0)
+        with pytest.raises(SimulationError):
+            SupervisedWorkerPool(workers=1, transport="carrier-pigeon")
+        with pytest.raises(SimulationError):
+            SupervisedWorkerPool(workers=1, max_attempts=0)
+
+    @pytest.mark.parametrize("transport", ["mp", "inproc"])
+    def test_raising_task_retries_then_succeeds(self, transport, tmp_path):
+        marker = str(tmp_path / "armed")
+        pool = SupervisedWorkerPool(
+            workers=1, transport=transport, backoff_base=0.01
+        )
+        pool.submit("k", *call("boom_once", marker))
+        (outcome,) = pool.drain()
+        pool.shutdown()
+        assert outcome.ok
+        assert outcome.row == "recovered"
+        assert outcome.attempts == 2
+        assert pool.stats["task_retries"] == 1
+
+    def test_exhausted_attempts_is_an_outcome_not_an_exception(self):
+        pool = SupervisedWorkerPool(
+            workers=1, transport="inproc", max_attempts=2, backoff_base=0.01
+        )
+        pool.submit("bad", *call("boom", "always broken"))
+        pool.submit("good", *call("add", 2, 2))
+        outcomes = {o.key: o for o in pool.drain()}
+        pool.shutdown()
+        assert not outcomes["bad"].ok
+        assert outcomes["bad"].attempts == 2
+        assert "always broken" in outcomes["bad"].error
+        assert outcomes["good"].ok, "a failed task must not poison the pool"
+
+
+@pytest.mark.chaos
+class TestChaos:
+    def test_sigkilled_worker_is_replaced_and_task_retried(self, tmp_path):
+        marker = str(tmp_path / "armed")
+        pool = SupervisedWorkerPool(workers=2, backoff_base=0.01)
+        pool.submit("k", *call("die_once", marker))
+        (outcome,) = pool.drain(timeout=30.0)
+        pool.shutdown()
+        assert outcome.ok
+        assert outcome.row == "recovered"
+        assert outcome.attempts == 2
+        assert pool.stats["worker_restarts"] >= 1
+
+    def test_externally_killed_busy_worker_recovers(self, tmp_path):
+        pool = SupervisedWorkerPool(workers=2, backoff_base=0.01)
+        for i in range(2):
+            pool.submit(f"k{i}", *call("nap", 1.0))
+        deadline = time.monotonic() + 10.0
+        while not pool.busy_pids() and time.monotonic() < deadline:
+            pool.poll(timeout=0.05)
+        assert pool.busy_pids(), "no worker ever went busy"
+        os.kill(pool.busy_pids()[0], signal.SIGKILL)
+        outcomes = pool.drain(timeout=30.0)
+        pool.shutdown()
+        assert sorted(o.key for o in outcomes) == ["k0", "k1"]
+        assert all(o.ok for o in outcomes)
+        assert pool.stats["worker_restarts"] >= 1
+
+    def test_poison_task_fails_typed_and_pool_keeps_serving(self):
+        pool = SupervisedWorkerPool(
+            workers=2, max_attempts=2, backoff_base=0.01
+        )
+        pool.submit("poison", *call("die"))
+        outcomes = pool.drain(timeout=30.0)
+        assert [o.key for o in outcomes] == ["poison"]
+        assert not outcomes[0].ok
+        assert outcomes[0].attempts == 2
+        assert "2 attempt(s)" in outcomes[0].error
+        # The pool must still execute work after budget exhaustion.
+        pool.submit("after", *call("add", 1, 2))
+        (after,) = pool.drain(timeout=30.0)
+        pool.shutdown()
+        assert after.ok and after.row == 3
+        assert pool.stats["tasks_failed"] == 1
+
+    def test_wedged_worker_misses_liveness_deadline_and_is_killed(self):
+        pool = SupervisedWorkerPool(
+            workers=1,
+            heartbeat_interval=0.05,
+            liveness_timeout=0.5,
+            max_attempts=2,
+            backoff_base=0.01,
+        )
+        pool.submit("stuck", *call("wedge"))
+        (outcome,) = pool.drain(timeout=30.0)
+        pool.shutdown()
+        assert not outcome.ok
+        assert "liveness deadline" in outcome.error
+        assert pool.stats["workers_hung"] >= 1
+        assert pool.stats["worker_restarts"] >= 1
