@@ -61,8 +61,16 @@ class BenchRecord:
     bandwidth_mb_s: float
     #: Shard calendars the entry ran on (0 = single calendar).
     shards: int = 0
-    #: Conservative-protocol rounds (sharded entries only).
+    #: Server calendars inside the plan (0 = single calendar run).
+    server_shards: int = 0
+    #: Conservative-protocol rounds (sharded entries only).  The widened
+    #: per-kind lookahead shrinks this against earlier trajectories at
+    #: the same point — the committed payloads carry the delta.
     rounds: int = 0
+    #: Windows executed away from their home worker by the work-stealing
+    #: scheduler, plus windows skipped as provably empty.
+    steals: int = 0
+    windows_skipped: int = 0
     #: Total wall seconds shards spent computing windows.
     busy_s: float = 0.0
     #: Sum over rounds of the slowest shard's window time — the compute
@@ -90,20 +98,27 @@ def run_entry(
     """
     import os
 
-    from ..shard import SHARDS_ENV
+    from ..shard import SERVER_SHARDS_ENV, SHARDS_ENV
 
-    saved = os.environ.get(SHARDS_ENV)
+    saved = {
+        env: os.environ.get(env) for env in (SHARDS_ENV, SERVER_SHARDS_ENV)
+    }
     if entry.shards:
         os.environ[SHARDS_ENV] = str(entry.shards)
     else:
         os.environ.pop(SHARDS_ENV, None)
+    if entry.server_shards:
+        os.environ[SERVER_SHARDS_ENV] = str(entry.server_shards)
+    else:
+        os.environ.pop(SERVER_SHARDS_ENV, None)
     try:
         record, profile_text = _run_entry_timed(entry, profile, profile_top)
     finally:
-        if saved is None:
-            os.environ.pop(SHARDS_ENV, None)
-        else:
-            os.environ[SHARDS_ENV] = saved
+        for env, value in saved.items():
+            if value is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = value
     return record, profile_text
 
 
@@ -149,7 +164,10 @@ def _run_entry_timed(
         sim_elapsed_s=metrics.elapsed,
         bandwidth_mb_s=metrics.bandwidth / MiB,
         shards=entry.shards if outcome is not None else 0,
+        server_shards=outcome.server_shards if outcome is not None else 0,
         rounds=outcome.rounds if outcome is not None else 0,
+        steals=outcome.steals if outcome is not None else 0,
+        windows_skipped=outcome.windows_skipped if outcome is not None else 0,
         busy_s=busy,
         critical_path_s=critical,
         projected_wall_s=max(0.0, wall - busy + critical) if outcome else 0.0,
@@ -229,8 +247,11 @@ def run_suite(
         )
         if record.shards:
             say(
-                f"{record.name}: {record.shards} shards, "
-                f"{record.rounds} rounds, critical path "
+                f"{record.name}: {record.shards} shards "
+                f"({record.server_shards} server), "
+                f"{record.rounds} rounds, "
+                f"{record.windows_skipped} skipped, "
+                f"{record.steals} steals, critical path "
                 f"{record.critical_path_s:.3f}s -> projected wall "
                 f"{record.projected_wall_s:.3f}s"
             )

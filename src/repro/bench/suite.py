@@ -17,6 +17,17 @@ distinct kernel regime:
 All entries run fault-free (the fast-path regime) under the ``source_aware``
 policy, except where noted; the ``full`` scale adds the irqbalance policy
 path, NAPI coalescing and the write path.
+
+The sharded family measures the conservative-window protocol at three
+cuts of the same fan-in point: client-only sharding (``shard5``), a
+balanced client+server split (``shard8_srv4``), and the maximal one
+calendar per node (``shard20``).  All three are byte-identical to the
+single-calendar twin — the committed trajectory pins exact event parity —
+so the wall/critical-path deltas isolate what each cut buys.  The
+``fanin_deep`` pair runs the same fan-in over a deep (1 ms one-way)
+fabric, where the wider lookahead collapses the barrier round count and
+the N-way cut's projected speedup clears 3x (the committed trajectory
+pins that floor too).
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import dataclasses
 
 from ..config import ClusterConfig, NetworkConfig, WorkloadConfig
 from ..experiments.grids import nic_config
-from ..units import KiB, MiB
+from ..units import KiB, MiB, USEC
 
 __all__ = ["BenchEntry", "bench_entries", "entry_by_name"]
 
@@ -44,6 +55,10 @@ class BenchEntry:
     #: ``events_processed`` — which the committed trajectory pins; the
     #: wall/critical-path columns measure what sharding buys.
     shards: int = 0
+    #: Server calendars inside the shard plan (0 = the automatic
+    #: client-first split, which keeps all servers on one calendar until
+    #: every client has its own).  Only meaningful with ``shards`` set.
+    server_shards: int = 0
 
 
 def _point(
@@ -74,7 +89,9 @@ def _point(
     )
 
 
-def _fanin_point(n_clients: int) -> ClusterConfig:
+def _fanin_point(
+    n_clients: int, latency: float | None = None
+) -> ClusterConfig:
     """A full-scale multiclient fan-in: the sharding showcase.
 
     Many clients each reading from many servers is the regime the shard
@@ -82,12 +99,24 @@ def _fanin_point(n_clients: int) -> ClusterConfig:
     the per-round critical path is one client's work, not all of them.
     MSS 1500 puts the bulk of the events on the client side (per-segment
     NIC/softirq work), where the parallelism lives.
+
+    ``latency`` overrides the one-way fabric latency.  The conservative
+    window is bounded by the fabric lookahead, so the default 60 µs
+    switch pins the round count near ``elapsed / λ`` regardless of how
+    the calendars are cut; a *deep* fabric (multi-tier or campus-scale,
+    ~1 ms one way) amortizes the barrier over ~16x fewer rounds and is
+    where N-way sharding pays off (the ``fanin_deep`` pair).
     """
+    network = (
+        NetworkConfig(mss=1500)
+        if latency is None
+        else NetworkConfig(mss=1500, latency=latency)
+    )
     return ClusterConfig(
         n_servers=16,
         n_clients=n_clients,
         client=nic_config(3),
-        network=NetworkConfig(mss=1500),
+        network=network,
         workload=WorkloadConfig(
             n_processes=4,
             transfer_size=512 * KiB,
@@ -129,6 +158,15 @@ def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
             shards=2,
         ),
         BenchEntry(
+            name="micro_srv2_read",
+            title="micro smoke point, split server calendars",
+            config=_point(
+                1500, transfer=128 * KiB, file_size=256 * KiB, n_processes=2
+            ),
+            shards=3,
+            server_shards=2,
+        ),
+        BenchEntry(
             name="fanin_multiclient",
             title="4-client fan-in, 16 servers (single calendar)",
             config=_fanin_point(4),
@@ -140,6 +178,36 @@ def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
             config=_fanin_point(4),
             quick=False,
             shards=5,
+        ),
+        BenchEntry(
+            name="fanin_multiclient_shard8_srv4",
+            title="4-client fan-in, 16 servers, 4+4 shard calendars",
+            config=_fanin_point(4),
+            quick=False,
+            shards=8,
+            server_shards=4,
+        ),
+        BenchEntry(
+            name="fanin_multiclient_shard20",
+            title="4-client fan-in, one calendar per node (4+16)",
+            config=_fanin_point(4),
+            quick=False,
+            shards=20,
+            server_shards=16,
+        ),
+        BenchEntry(
+            name="fanin_deep",
+            title="4-client fan-in, deep fabric (single calendar)",
+            config=_fanin_point(4, latency=1000 * USEC),
+            quick=False,
+        ),
+        BenchEntry(
+            name="fanin_deep_shard20",
+            title="4-client fan-in, deep fabric, one calendar per node",
+            config=_fanin_point(4, latency=1000 * USEC),
+            quick=False,
+            shards=20,
+            server_shards=16,
         ),
         BenchEntry(
             name="irqbalance_jumbo9k",

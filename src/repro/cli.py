@@ -7,6 +7,7 @@ Usage::
     sais-repro run all --scale quick      # everything, small runs
     sais-repro run all --jobs 8           # fan grid points over 8 workers
     sais-repro run all --shards 2         # split each run over 2 calendars
+    sais-repro run all --shards 6 --server-shards 2   # pin 2 server calendars
     sais-repro summary --jobs 4           # near-instant once cached
     sais-repro bench --quick              # benchmark the simulator itself
     sais-repro trace fig5_bandwidth       # span-trace one grid point
@@ -87,6 +88,17 @@ def _build_parser() -> argparse.ArgumentParser:
             help=(
                 "split each run over N coupled event calendars "
                 "(byte-identical results; composes with --jobs)"
+            ),
+        )
+        command.add_argument(
+            "--server-shards",
+            type=positive_int,
+            default=None,
+            metavar="N",
+            help=(
+                "pin N of the --shards calendars to the I/O servers "
+                "(default: clients split first, leftover shards split "
+                "the servers)"
             ),
         )
         command.add_argument(
@@ -472,6 +484,17 @@ def _install_shards(args: argparse.Namespace) -> None:
         from .shard import SHARDS_ENV
 
         os.environ[SHARDS_ENV] = str(shards)
+    server_shards = getattr(args, "server_shards", None)
+    if server_shards is not None:
+        import os
+
+        from .shard import SERVER_SHARDS_ENV
+
+        if shards is None:
+            raise SystemExit(
+                "sais-repro: --server-shards requires --shards"
+            )
+        os.environ[SERVER_SHARDS_ENV] = str(server_shards)
 
 
 def _make_runner(args: argparse.Namespace) -> "t.Any":

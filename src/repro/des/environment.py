@@ -12,7 +12,27 @@ from .events import NORMAL, Callback, Event, Timeout, _invoke_callback
 if t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .process import Process
 
-__all__ = ["Environment"]
+__all__ = ["Environment", "WindowStop"]
+
+
+class WindowStop:
+    """A persistent stop-flag subscription for repeated window runs.
+
+    :meth:`Environment.run_window` with an :class:`~repro.des.Event`
+    stop subscribes and unsubscribes a callback on *every* call; a shard
+    runtime advancing thousands of windows against the same workload
+    AllOf pays that list churn each round.  ``env.window_stop(event)``
+    subscribes once and returns this latch; pass it as ``stop=`` to any
+    number of ``run_window`` calls with no per-call subscription work.
+    """
+
+    __slots__ = ("fired",)
+
+    def __init__(self) -> None:
+        self.fired = False
+
+    def __call__(self, _event: "Event") -> None:
+        self.fired = True
 
 _GeneratorT = t.Generator[Event, t.Any, t.Any]
 
@@ -253,10 +273,25 @@ class Environment:
             raise stop._value
         return stop._value
 
+    def window_stop(self, stop: Event) -> WindowStop:
+        """Subscribe a persistent :class:`WindowStop` latch to ``stop``.
+
+        The returned latch can be passed as ``stop=`` to any number of
+        :meth:`run_window` calls; unlike passing the event itself, no
+        per-call subscribe/unsubscribe work happens.  A latch for an
+        already-processed event comes back pre-fired.
+        """
+        latch = WindowStop()
+        if stop.callbacks is None:  # already processed
+            latch.fired = True
+        else:
+            stop.callbacks.append(latch)
+        return latch
+
     def run_window(
         self,
         bound: float,
-        stop: Event | None = None,
+        stop: "Event | WindowStop | None" = None,
         stamp: list[float] | None = None,
     ) -> bool:
         """Dispatch every event *strictly* before ``bound``; stop early if
@@ -270,11 +305,18 @@ class Environment:
         ``peek`` afterwards reports the first event at or beyond the
         bound — exactly what the coordinator needs for the next LBTS.
 
+        ``stop`` may be an :class:`~repro.des.events.Event` (subscribed
+        for this window only) or a :class:`WindowStop` latch from
+        :meth:`window_stop` (persistent across windows — the cheap form
+        for a runtime advancing thousands of windows).
+
         ``stamp``, when given, receives the timestamp of every event
         dispatched in this window (appended in dispatch order).  The
         coordinator uses it to discount events a terminating window
         overran past the global end time.
         """
+        if type(stop) is WindowStop:
+            return self._run_window_latched(bound, stop, stamp)
         flag: list[bool] = []
         if stop is not None:
             if stop.callbacks is None:  # already processed in a prior window
@@ -310,3 +352,37 @@ class Environment:
             # dies here, so a later window must re-subscribe a fresh one.
             stop.callbacks.remove(flag.append)
         return False
+
+    def _run_window_latched(
+        self,
+        bound: float,
+        latch: WindowStop,
+        stamp: list[float] | None,
+    ) -> bool:
+        """The :meth:`run_window` loop for a persistent stop latch."""
+        if latch.fired:
+            return True
+        queue = self._queue
+        pop = heappop
+        pool = self._cb_pool
+        dispatched = 0
+        try:
+            while queue and not latch.fired and queue[0][0] < bound:
+                when, _, _, event = pop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                if callbacks is None:
+                    raise SimulationError(f"{event!r} processed twice")
+                event.callbacks = None
+                dispatched += 1
+                if stamp is not None:
+                    stamp.append(when)
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if event.__class__ is Callback and len(pool) < _CB_POOL_LIMIT:
+                    pool.append(event)
+        finally:
+            self.events_processed += dispatched
+        return latch.fired

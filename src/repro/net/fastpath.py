@@ -84,7 +84,7 @@ def serialize_out(env: Environment, link: "Link", nbytes: int) -> t.Generator:
     uplinks can tie at the same float; the single calendar orders the tie
     by the serialization timeouts' event ids, which were assigned at
     grant time — so the grant instant is the cross-shard stand-in for
-    that event-id order (see ``repro.shard.coordinator._fabric_key``).
+    that event-id order (see ``repro.shard.fabric.WireMerge``).
     """
     with link._wire.request() as req:
         yield req
@@ -207,14 +207,81 @@ class ShardWirePort:
     def __init__(self, env: Environment) -> None:
         self.env = env
         #: Handoffs generated since the last barrier; the shard runtime
-        #: drains this after every window.
-        self.outbox: list[tuple[str, float, float, t.Any]] = []
+        #: drains this after every window.  Departures from *different*
+        #: calendars that tie at the same (departure, grant) instant are
+        #: merged by the coordinator using the rank each record carries —
+        #: see :meth:`transmit_to_client` and
+        #: :class:`repro.shard.fabric.WireMerge`.
+        self.outbox: list[tuple] = []
+        #: Chain origin keys (the coordinator's delivery sort key),
+        #: registered by the server-shard runtime when it inserts each
+        #: ``serve``/``serve_write`` delivery, keyed by
+        #: ``(client, request id, strip id)``.
+        self.chain_roots: dict[tuple, tuple] = {}
+        #: Per-uplink busy-period root, keyed by sending server index.
+        self._link_roots: dict[int, tuple] = {}
+        #: Per-uplink identity + departure instant of the last packet
+        #: sent, keyed by sending server index — used to recognize
+        #: back-to-back segment streaming (see :meth:`transmit_to_client`).
+        self._last_sent: dict[int, tuple] = {}
 
     def transmit_to_client(self, link: "Link", packet: "Packet") -> t.Generator:
-        """Server-shard half of the server->client wire path."""
+        """Server-shard half of the server->client wire path.
+
+        Each record carries a *rank* describing where its departure
+        event's id was assigned, which is what breaks same-instant
+        (departure, grant) ties across calendars:
+
+        ``("r", root)`` — this packet's id was assigned during its own
+        chain's dispatch (the uplink was idle and nothing ties the send
+        to an earlier departure); ``root`` is that chain's origin
+        delivery key (the coordinator's delivery sort key).
+
+        ``("d", server, root)`` — the id was assigned during the
+        dispatch of the *previous departure* on this uplink, either
+        because the wire was busy (the grant fires inside the previous
+        holder's release) or because the sender streams segments
+        back-to-back: the transmit for segment ``k`` runs inside the
+        dispatch cascade of segment ``k - 1``'s serialization timeout,
+        so even an idle-wire re-request assigns its id there.  The
+        coordinator resolves the rank to that previous departure's
+        global relay position (:class:`~repro.shard.fabric.WireMerge`).
+        ``root`` is the current busy period's origin, kept as the
+        cross-class fallback.
+        """
         env = self.env
+        server = packet.src_server
+        wire = link._wire
+        if not wire.users and not wire._waiting:  # idle uplink
+            prev = self._last_sent.get(server)
+            if (
+                prev is not None
+                and prev[0] == packet.dst_client
+                and prev[1] == packet.request_id
+                and prev[2] == packet.strip_id
+                and prev[3] == packet.segment - 1
+                and prev[4] == env.now
+            ):
+                # Back-to-back streaming: still inside the previous
+                # departure's cascade, so the busy period continues.
+                rank = ("d", server, self._link_roots[server])
+            else:
+                root = self.chain_roots[
+                    (packet.dst_client, packet.request_id, packet.strip_id)
+                ]
+                self._link_roots[server] = root
+                rank = ("r", root)
+        else:
+            rank = ("d", server, self._link_roots[server])
         grant = yield from serialize_out(env, link, packet.size)
-        self.outbox.append((self.WIRE, env.now, grant, packet))
+        self._last_sent[server] = (
+            packet.dst_client,
+            packet.request_id,
+            packet.strip_id,
+            packet.segment,
+            env.now,
+        )
+        self.outbox.append((self.WIRE, env.now, grant, packet, rank))
 
     def transmit_to_server(
         self, link: "Link", size: int, request: t.Any

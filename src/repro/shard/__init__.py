@@ -29,17 +29,21 @@ import typing as t
 
 from .coordinator import ShardOutcome, run_plan
 from .fabric import FabricRelay
+from .lookahead import LookaheadBounds
 from .plan import (
     NO_SHARDS_ENV,
+    SERVER_SHARDS_ENV,
     SHARDS_ENV,
     TRANSPORT_ENV,
     ShardPlan,
     plan_shards,
+    server_shards_requested,
     shard_block_reason,
     shards_requested,
     transport_requested,
 )
 from .runtime import ClientShardRuntime, ServerShardRuntime, build_runtime
+from .scheduler import WindowExecutor, workers_requested
 from .transport import start_shards
 
 if t.TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,10 +53,14 @@ __all__ = [
     "ShardPlan",
     "ShardOutcome",
     "FabricRelay",
+    "LookaheadBounds",
+    "WindowExecutor",
     "plan_shards",
     "shard_block_reason",
     "shards_requested",
+    "server_shards_requested",
     "transport_requested",
+    "workers_requested",
     "run_sharded",
     "build_runtime",
     "ClientShardRuntime",
@@ -60,6 +68,7 @@ __all__ = [
     "start_shards",
     "run_plan",
     "SHARDS_ENV",
+    "SERVER_SHARDS_ENV",
     "NO_SHARDS_ENV",
     "TRANSPORT_ENV",
 ]
@@ -69,15 +78,22 @@ def run_sharded(
     config: "ClusterConfig",
     n_shards: int,
     transport: str | None = None,
+    server_shards: int | None = None,
 ) -> ShardOutcome:
     """Run one cluster workload across ``n_shards`` coupled calendars.
 
-    Raises :class:`~repro.errors.ConfigError` for an unshardable request
-    (fewer than two shards, zero-latency fabric).  Callers wanting the
-    graceful ambient path should consult :func:`shard_block_reason`
-    first — this function assumes eligibility.
+    ``server_shards`` pins the number of server calendars in the plan
+    (``--server-shards``); ``None`` reads the ambient
+    ``REPRO_SERVER_SHARDS`` request, falling back to the automatic
+    client-first split.  Raises :class:`~repro.errors.ConfigError` for an
+    unshardable request (fewer than two shards, zero-latency fabric, no
+    room for a client shard).  Callers wanting the graceful ambient path
+    should consult :func:`shard_block_reason` first — this function
+    assumes eligibility.
     """
-    plan = plan_shards(config, n_shards)
+    if server_shards is None:
+        server_shards = server_shards_requested()
+    plan = plan_shards(config, n_shards, server_shards)
     handles, peeks = start_shards(
         config, plan, transport or transport_requested()
     )

@@ -2,20 +2,30 @@
 
 One round of the protocol (DESIGN.md section 10):
 
-1. **LBTS.**  The global lower bound on any future event is the minimum
-   over every shard's next local timestamp and every undelivered
-   cross-shard message's effect time.  Nothing anywhere can happen
-   earlier, and no cross-shard message generated from now on can take
-   effect before ``LBTS + L`` (``L`` = switch latency = the lookahead).
-2. **Window.**  Every shard dispatches its events strictly below
-   ``LBTS + L`` and returns the boundary handoffs that window generated:
-   read requests leaving clients, uplink departures entering the fabric.
+1. **Bound.**  The global window bound folds each shard's *outgoing*
+   lookahead into the classic LBTS: a client shard's next event can
+   reach another calendar after one fabric latency, a server shard's
+   only after fabric latency plus the backplane + NIC wire time of the
+   smallest possible packet, and messages already in flight count at the
+   time of the first calendar event they can create, not their fabric
+   arrival (:mod:`repro.shard.lookahead`).  Nothing anywhere can cross a
+   shard boundary and take effect below the bound.
+2. **Windows.**  Every shard with calendar work or deliveries below the
+   bound dispatches its events strictly below it and returns the
+   boundary handoffs that window generated: read requests leaving
+   clients, uplink departures entering the fabric.  Idle shards are
+   skipped entirely — no pipe round-trip, no empty window.  Hosts with
+   several runtimes run their batch through the work-stealing
+   :class:`~repro.shard.scheduler.WindowExecutor`.
 3. **Fabric.**  The coordinator merges all handoffs into global uplink-
-   departure order (ties broken by destination client and the client's
-   own strip-issue order — the same order the single calendar's
-   event ids encode) and replays the switch FIFO recurrence over them.
-   Each output is queued for delivery at the start of the next round, at
-   the exact float instant the single-calendar fast path computes.
+   departure order — ties broken exactly as the single calendar's event
+   ids dispatch them: busy-period roots for period-starting server
+   data/acks, previous-departure relay position for period-continuing
+   ones, issue order for client write strips (see
+   :class:`~repro.shard.fabric.WireMerge`) — and replays
+   the switch FIFO recurrence over them.  Each output is queued for
+   delivery at the start of the next round, at the exact float instant
+   the single-calendar fast path computes.
 4. Repeat until every client shard's workload-complete event has fired;
    the global elapsed time is the latest of those instants, exactly as
    ``run(until=AllOf(...))`` would have reported.
@@ -36,11 +46,18 @@ import typing as t
 from ..config import ClusterConfig
 from ..errors import SimulationError
 from ..metrics.collectors import ClientMetrics
-from .fabric import FabricRelay
+from .fabric import FabricRelay, WireMerge, delivery_key
+from .lookahead import LookaheadBounds
 from .plan import ShardPlan
 from .runtime import INF
 
 __all__ = ["ShardOutcome", "run_plan"]
+
+#: Test hook: when set to a list, every wire record is appended in the
+#: exact order the coordinator replays it through the fabric recurrence.
+#: The equivalence tests diff this sequence against an instrumented
+#: single-calendar run to localize any tie-ordering divergence.
+_RELAY_LOG: list | None = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -57,52 +74,20 @@ class ShardOutcome:
     rounds: int
     fabric_bytes: int
     fabric_packets: int
-    #: Wall seconds each shard spent computing windows, in handle order.
+    #: Wall seconds each shard spent computing windows, in shard-id order.
     busy_s: tuple[float, ...] = ()
     #: Sum over rounds of the slowest shard's window time — what the
     #: compute would cost if every shard ran on its own core.  On a
     #: single-core host this is the honest stand-in for parallel wall
     #: time (the bench records both; see ``repro.bench``).
     critical_path_s: float = 0.0
-
-
-def _fabric_key(rec: tuple) -> tuple:
-    """Global FIFO order of uplink departures entering the fabric.
-
-    The single calendar processes same-instant departures in event-id
-    order, which traces through an unbounded history of insertion
-    instants.  The plan makes that order reproducible without replaying
-    the history (see :func:`~repro.shard.plan.plan_shards`):
-
-    * ``wire`` records (server data/acks) all come from the one server
-      shard, whose dispatch order *is* the single calendar's event-id
-      order for those events — so the sort must preserve their arrival
-      order on ties, which Python's stable sort does exactly because
-      the key deliberately stops at ``(departure, grant)``.
-    * ``write`` records come from many client shards, but clients are
-      homogeneous IOR instances: same-instant write departures are
-      symmetric, and the single calendar's event-id order for them is
-      issue order — ``(client, strip id)``.
-
-    The grant instant separates most cross-kind ties (the serialization
-    timeouts' event ids were assigned at wire-grant time); a residual
-    exact tie between a ``wire`` and a ``write`` record orders data
-    before write strips.
-    """
-    tag, departure, grant, payload = rec
-    if tag == "wire":  # data/ack packet out of the server shard
-        return (departure, grant, 0)
-    # "write": a write strip out of a client shard
-    return (departure, grant, 1, payload.client, payload.strip_id)
-
-
-def _delivery_key(rec: tuple) -> tuple:
-    """Insertion order of same-round deliveries into one shard's calendar."""
-    kind, gen, when, payload = rec
-    client = payload.dst_client if kind == "rx" else payload.client
-    strip = payload.strip_id
-    segment = payload.segment if kind == "rx" else 0
-    return (when, gen, client, strip, segment)
+    #: Server calendars in the plan (1 = the PR 5 single-server-shard cut).
+    server_shards: int = 1
+    #: Windows executed away from their home worker by the work-stealing
+    #: scheduler, summed over every executor in the run.
+    steals: int = 0
+    #: Shard windows skipped because they had no work below the bound.
+    windows_skipped: int = 0
 
 
 def run_plan(
@@ -113,8 +98,11 @@ def run_plan(
 ) -> ShardOutcome:
     """Drive one sharded run over started shard ``handles`` to completion."""
     lookahead = plan.lookahead
+    bounds = LookaheadBounds(config, plan)
     fabric = FabricRelay(config.network.switch_bandwidth)
-    n_client_shards = len(plan.client_groups)
+    merge = WireMerge()
+    n_client_shards = plan.n_client_shards
+    n_shards = plan.n_shards
 
     client_shard_of: dict[int, int] = {}
     for pos, group in enumerate(plan.client_groups):
@@ -126,46 +114,60 @@ def run_plan(
             server_shard_of[s] = n_client_shards + pos
 
     peeks = list(peeks)
-    pending: list[list[tuple]] = [[] for _ in handles]
+    pending: list[list[tuple]] = [[] for _ in range(n_shards)]
     done: dict[int, float] = {}
     last_stamps: dict[int, list[float]] = {}
     rounds = 0
-    busy_totals = [0.0] * len(handles)
+    steals = 0
+    windows_skipped = 0
+    busy_totals = [0.0] * n_shards
     critical_path = 0.0
 
     while len(done) < n_client_shards:
-        lbts = min(peeks)
-        for queue in pending:
-            for rec in queue:
-                when = rec[2]
-                if when < lbts:
-                    lbts = when
+        lbts, bound = bounds.round_bound(peeks, pending)
         if lbts == INF:
             raise SimulationError(
                 "sharded simulation deadlocked: every shard calendar is "
                 "empty and no cross-shard messages are in flight, but the "
                 "workload has not completed"
             )
-        bound = lbts + lookahead
         rounds += 1
-        for i, handle in enumerate(handles):
-            queue = pending[i]
-            if queue:
-                queue.sort(key=_delivery_key)
-                pending[i] = []
-            handle.post_advance(bound, queue)
+        # Ready windows: a shard participates when it holds deliveries
+        # (which may carry side effects even past a client's AllOf) or
+        # calendar work below the bound.  Everyone else sits the round
+        # out — their peek cannot change without a delivery.
+        posted: list[t.Any] = []
+        for handle in handles:
+            tasks: list[tuple[int, float, list]] = []
+            for sid in handle.shards:
+                queue = pending[sid]
+                if not queue and peeks[sid] >= bound:
+                    windows_skipped += 1
+                    continue
+                if queue:
+                    queue.sort(key=delivery_key)
+                    pending[sid] = []
+                tasks.append((sid, bound, queue))
+            if tasks:
+                handle.post_advance(tasks)
+                posted.append(handle)
+        replies: dict[int, t.Any] = {}
+        for handle in posted:
+            handle_replies, handle_steals = handle.recv()
+            replies.update(handle_replies)
+            steals += handle_steals
         wire_inputs: list[tuple] = []
         round_max = 0.0
-        for i, handle in enumerate(handles):
-            outbox, peek, done_at, stamps, busy = handle.recv()
-            busy_totals[i] += busy
+        for sid in sorted(replies):
+            outbox, peek, done_at, stamps, busy = replies[sid]
+            busy_totals[sid] += busy
             if busy > round_max:
                 round_max = busy
-            peeks[i] = peek
-            if done_at is not None and i not in done:
-                done[i] = done_at
+            peeks[sid] = peek
+            if done_at is not None and sid not in done:
+                done[sid] = done_at
             if stamps is not None:
-                last_stamps[i] = stamps
+                last_stamps[sid] = stamps
             for rec in outbox:
                 if rec[0] == "req":
                     # Client -> server read request: one fabric latency,
@@ -175,9 +177,12 @@ def run_plan(
                         ("serve", t_issue, t_issue + lookahead, request)
                     )
                 else:
-                    wire_inputs.append(rec)
-        wire_inputs.sort(key=_fabric_key)
-        for tag, departure, _grant, payload in wire_inputs:
+                    wire_inputs.append((rec, sid))
+        wire_inputs = merge.order(wire_inputs)
+        if _RELAY_LOG is not None:
+            _RELAY_LOG.extend(wire_inputs)
+        for rec in wire_inputs:
+            tag, departure, payload = rec[0], rec[1], rec[3]
             fabric_departure = fabric.relay(payload.size, departure)
             if tag == "wire":
                 arrival = fabric_departure + lookahead
@@ -204,16 +209,18 @@ def run_plan(
     rows: list[tuple[int, ClientMetrics, int]] = []
     raw_events = 0
     for handle in handles:
-        reply = handle.recv()
-        if reply[0] == "client":
-            rows.extend(reply[1])
-            raw_events += reply[2]
-        else:
-            raw_events += reply[1]
+        finals, _steals = handle.recv()
+        for sid in sorted(finals):
+            reply = finals[sid]
+            if reply[0] == "client":
+                rows.extend(reply[1])
+                raw_events += reply[2]
+            else:
+                raw_events += reply[1]
 
     overrun = 0
-    for i, stamps in last_stamps.items():
-        if i >= n_client_shards:
+    for sid, stamps in last_stamps.items():
+        if sid >= n_client_shards:
             overrun += sum(1 for when in stamps if when > t_end)
     model_events = raw_events - (n_client_shards - 1) - overrun
 
@@ -231,4 +238,7 @@ def run_plan(
         fabric_packets=fabric.packets_switched,
         busy_s=tuple(busy_totals),
         critical_path_s=critical_path,
+        server_shards=plan.n_server_shards,
+        steals=steals,
+        windows_skipped=windows_skipped,
     )

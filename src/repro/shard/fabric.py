@@ -20,7 +20,156 @@ bits.
 
 from __future__ import annotations
 
-__all__ = ["FabricRelay"]
+__all__ = ["FabricRelay", "WireMerge", "delivery_key", "merge_key"]
+
+
+def _wire_root(rec: tuple) -> tuple:
+    """The busy-period root a wire record's rank carries (either kind)."""
+    rank = rec[4]
+    return rank[1] if rank[0] == "r" else rank[2]
+
+
+def merge_key(rec: tuple) -> tuple:
+    """First-pass global FIFO order of uplink departures entering the
+    fabric: ``(departure, grant, kind, ...)``.
+
+    The single calendar processes same-instant departures in event-id
+    order, which traces through an unbounded history of insertion
+    instants.  The plan makes that order reproducible without replaying
+    the history (DESIGN.md section 10):
+
+    * ``wire`` records (server data/acks) carry **no** tie-break term
+      here: a stable sort leaves every (departure, grant) tie group in
+      outbox order, which within one server calendar already *is* the
+      single calendar's dispatch order.  Interleaving ties across
+      calendars is :class:`WireMerge`'s job, using the rank each record
+      carries.
+    * ``write`` records come from client shards; clients are homogeneous
+      IOR instances whose same-instant write departures are symmetric,
+      and the single calendar's event-id order for them is issue order —
+      ``(client, strip id)``.
+
+    The grant instant separates most cross-kind ties (the serialization
+    timeouts' event ids were assigned at wire-grant time); a residual
+    exact tie between a ``wire`` and a ``write`` record orders data
+    before write strips.
+    """
+    tag, departure, grant = rec[0], rec[1], rec[2]
+    if tag == "wire":  # data/ack packet out of a server shard
+        return (departure, grant, 0)
+    # "write": a write strip out of a client shard
+    payload = rec[3]
+    return (departure, grant, 1, payload.client, payload.strip_id)
+
+
+class WireMerge:
+    """Stateful cross-calendar merge of uplink departures.
+
+    Within one server calendar, same-instant departures already dispatch
+    in the single calendar's order — that is the byte-identity invariant
+    each shard maintains locally — so their outbox order is ground truth
+    and must never be disturbed.  The only open question is how to
+    *interleave* calendars inside a (departure, grant) tie group, and
+    the answer depends on where each departure's event id was assigned
+    (the rank its record carries, see
+    :class:`~repro.net.fastpath.ShardWirePort`):
+
+    * a period-**continuing** departure's id was assigned during the
+      dispatch of the previous departure on its own uplink (the wire
+      resource hands over inside that dispatch cascade), so two
+      continuations order exactly as the single calendar dispatched
+      those previous departures — which is this merge's own output
+      order, one step earlier.  The coordinator numbers every relayed
+      wire record and compares each uplink's previous relay position.
+    * a period-**starting** departure's id was assigned during its own
+      chain's dispatch, and period-starting chains dispatch in chain
+      creation order — the busy-period root (a delivery sort key).
+      Root order also covers the mixed starting/continuing comparison,
+      where a continuation stands in for its whole busy period.
+
+    Each tie group is resolved as a k-way merge of the per-calendar
+    runs: local order is preserved unconditionally, and the rank rules
+    decide only which calendar contributes next.  The sharded golden
+    leg and the fan-in equivalence tests validate the result against
+    the single calendar.
+    """
+
+    __slots__ = ("_seq", "_last")
+
+    def __init__(self) -> None:
+        self._seq = 0
+        #: Per-uplink (server index) relay position of the last departure.
+        self._last: dict[int, int] = {}
+
+    def _before(self, a: tuple, b: tuple) -> bool:
+        """Does record ``a`` dispatch before ``b`` inside a tie group?"""
+        rank_a, rank_b = a[4], b[4]
+        if rank_a[0] == "d" and rank_b[0] == "d":
+            last = self._last
+            return last[a[3].src_server] < last[b[3].src_server]
+        return _wire_root(a) < _wire_root(b)
+
+    def _resolve(self, group: list) -> list:
+        """Interleave one tie group's per-calendar runs (k-way merge)."""
+        runs: dict[int, list] = {}
+        for rec, sid in group:
+            runs.setdefault(sid, []).append(rec)
+        if len(runs) == 1:
+            return [rec for rec, _sid in group]
+        heads = list(runs.values())
+        out: list = []
+        while heads:
+            best = 0
+            for k in range(1, len(heads)):
+                if self._before(heads[k][0], heads[best][0]):
+                    best = k
+            run = heads[best]
+            out.append(run.pop(0))
+            if not run:
+                heads.pop(best)
+        return out
+
+    def order(self, tagged: list) -> list:
+        """One round's fabric inputs, as ``(record, shard id)`` pairs, in
+        global relay order.  Returns the bare records."""
+        tagged.sort(key=lambda pair: merge_key(pair[0]))
+        last = self._last
+        out: list = []
+        n = len(tagged)
+        i = 0
+        while i < n:
+            rec = tagged[i][0]
+            j = i + 1
+            if rec[0] == "wire":
+                dep, grant = rec[1], rec[2]
+                while (
+                    j < n
+                    and tagged[j][0][0] == "wire"
+                    and tagged[j][0][1] == dep
+                    and tagged[j][0][2] == grant
+                ):
+                    j += 1
+                if j - i > 1:
+                    group = self._resolve(tagged[i:j])
+                else:
+                    group = [rec]
+                for g in group:
+                    last[g[3].src_server] = self._seq
+                    self._seq += 1
+                    out.append(g)
+            else:
+                out.append(rec)
+            i = j
+        return out
+
+
+def delivery_key(rec: tuple) -> tuple:
+    """Insertion order of same-round deliveries into one shard's calendar."""
+    kind, gen, when, payload = rec
+    client = payload.dst_client if kind == "rx" else payload.client
+    strip = payload.strip_id
+    segment = payload.segment if kind == "rx" else 0
+    return (when, gen, client, strip, segment)
 
 
 class FabricRelay:

@@ -1,0 +1,137 @@
+"""Per-shard-pair lookahead bounds for the conservative window protocol.
+
+PR 5's coordinator used the weakest safe bound — one fabric traversal:
+``bound = LBTS + latency`` with LBTS the global minimum over shard peeks
+and in-flight message times.  That is correct but pessimistic in two
+ways this module repairs:
+
+1. **Direction matters.**  A client shard's next event can reach a
+   server shard after one fabric latency (a read request spawns
+   ``serve`` at exactly ``t_issue + latency``).  But a *server* shard's
+   next event cannot touch a client shard that fast: every
+   server-to-client message is a packet that must serialize through the
+   switch backplane **and** the client NIC wire before its first
+   calendar event (``complete_rx``) exists.  The per-pair lookahead is
+   therefore ``latency`` on client->server edges and
+   ``latency + wire_floor`` on server->client edges, where
+   ``wire_floor`` is the backplane + NIC wire time of the smallest
+   packet the fabric can carry.  Same-kind pairs (client->client,
+   server->server) only interact through a shard of the other kind, so
+   their lookahead is the two-hop sum — never the binding term, but it
+   is what makes a pure one-kind LBTS safe.
+
+2. **In-flight messages bound by *effect*, not by generation.**  A
+   delivered-but-unprocessed server->client packet's first calendar
+   event is ``complete_rx`` at ``max(nic_free, arrival) + wire_time``,
+   never ``arrival`` itself; counting it at ``arrival + size/bandwidth``
+   (a strict lower bound on its NIC wire time) widens every window that
+   is currently limited by packets already in flight — the common state
+   of a fan-in read.
+
+Both refinements feed one *global* round bound::
+
+    bound = min over shards j of  T_j + outgoing_lookahead(kind_j)
+    T_j   = min(peek_j, effect_lower of every pending message to j)
+
+A single global bound (rather than per-shard windows) is what keeps the
+byte-identity machinery of DESIGN.md section 10 untouched: every shard
+shares the same horizon each round, so cross-round ties remain
+impossible, fabric handoffs stay globally monotone across rounds, and
+deliveries never straddle a tie.  The widening shows up directly as
+fewer ``rounds`` in the bench payload (BENCH_serversharded.json).
+
+Safety of the ``wire_floor`` term: a server output generated at ``g``
+reaches a client calendar at
+``fabric_departure + latency + nic_wire >= g + size/backplane + latency
++ size/nic >= g + latency + wire_floor`` because ``wire_floor`` uses the
+*minimum* packet size and the raw (framing-free) rates.  Influence
+through shared resources (one request delaying another on a disk or
+uplink queue) can only push events later, and the influenced departure
+itself happens no earlier than the influencing instant, so the same
+bound covers it.
+"""
+
+from __future__ import annotations
+
+import typing as t
+
+from ..config import ClusterConfig
+from .plan import ShardPlan
+
+__all__ = ["LookaheadBounds", "MIN_WIRE_PACKET"]
+
+INF = float("inf")
+
+#: Smallest packet the lookahead floor assumes can cross the fabric.
+#: Write acknowledgements are 1024 bytes (``IoServer.ACK_SIZE``); read
+#: data segments are MSS-sized except for arbitrarily small tail
+#: extents, so the universally safe floor is one byte.  The floor only
+#: shapes the static matrix — in-flight messages use their true sizes.
+MIN_WIRE_PACKET = 1
+
+
+class LookaheadBounds:
+    """The per-shard-pair lookahead matrix, folded per source kind."""
+
+    def __init__(self, config: ClusterConfig, plan: ShardPlan) -> None:
+        lam = plan.lookahead
+        self.latency = lam
+        #: Raw per-byte rates (no framing overhead: overhead only adds
+        #: time, so omitting it keeps every bound a true lower bound).
+        self._nic_rate = config.client.nic_bandwidth
+        backplane = config.network.switch_bandwidth
+        self.wire_floor = MIN_WIRE_PACKET * (
+            1.0 / backplane + 1.0 / self._nic_rate
+        )
+        # Folded outgoing lookahead per source kind: the tightest edge
+        # leaving a shard of that kind.  Client shards reach servers in
+        # one bare latency; server shards cannot touch anyone without a
+        # backplane + NIC traversal on top.
+        self._out = {
+            "client": lam,
+            "server": lam + self.wire_floor,
+        }
+        self.kinds: tuple[str, ...] = tuple(
+            ["client"] * plan.n_client_shards
+            + ["server"] * plan.n_server_shards
+        )
+
+    def effect_lower(self, rec: tuple) -> float:
+        """Earliest calendar event a pending delivery can create.
+
+        ``serve`` and ``serve_write`` deliveries spawn a process at
+        exactly their recorded instant; an ``rx`` delivery's first event
+        is ``complete_rx``, at least one NIC wire time after arrival.
+        """
+        kind = rec[0]
+        when = rec[2]
+        if kind == "rx":
+            return when + rec[3].size / self._nic_rate
+        return when
+
+    def round_bound(
+        self, peeks: t.Sequence[float], pending: t.Sequence[t.Sequence[tuple]]
+    ) -> tuple[float, float]:
+        """The global window bound for one round, and its LBTS.
+
+        Returns ``(lbts, bound)``: ``lbts`` is the classic global lower
+        bound on any future event (used for deadlock detection and the
+        end-of-run check); ``bound`` folds each shard's outgoing
+        lookahead into it and is never below ``lbts + latency`` — the
+        PR 5 bound — because every outgoing edge is at least ``latency``
+        wide.
+        """
+        lbts = INF
+        bound = INF
+        for j, kind in enumerate(self.kinds):
+            t_j = peeks[j]
+            for rec in pending[j]:
+                eff = self.effect_lower(rec)
+                if eff < t_j:
+                    t_j = eff
+            if t_j < lbts:
+                lbts = t_j
+            b_j = t_j + self._out[kind]
+            if b_j < bound:
+                bound = b_j
+        return lbts, bound

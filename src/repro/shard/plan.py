@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import sys
 
 from ..config import ClusterConfig
 from ..errors import ConfigError
@@ -28,12 +29,18 @@ __all__ = [
     "plan_shards",
     "shard_block_reason",
     "shards_requested",
+    "server_shards_requested",
     "transport_requested",
 ]
 
 #: Ambient request for sharded runs, set by ``--shards N`` and inherited
 #: by ``--jobs`` worker processes (so the two compose with no plumbing).
 SHARDS_ENV = "REPRO_SHARDS"
+#: Ambient request for the number of *server* shards inside a sharded
+#: run, set by ``--server-shards N``.  Unset, ``plan_shards`` keeps all
+#: servers on one calendar until every client has its own shard, then
+#: auto-splits the overflow across server calendars.
+SERVER_SHARDS_ENV = "REPRO_SERVER_SHARDS"
 #: Escape hatch: force single-calendar runs even when REPRO_SHARDS is set.
 NO_SHARDS_ENV = "REPRO_NO_SHARDS"
 #: Transport override: ``mp`` (multiprocessing workers) or ``inproc``
@@ -59,9 +66,26 @@ class ShardPlan:
     def n_shards(self) -> int:
         return len(self.client_groups) + len(self.server_groups)
 
+    @property
+    def n_client_shards(self) -> int:
+        return len(self.client_groups)
+
+    @property
+    def n_server_shards(self) -> int:
+        return len(self.server_groups)
+
 
 def _split(n_items: int, n_groups: int) -> tuple[tuple[int, ...], ...]:
-    """Contiguous near-even split of ``range(n_items)`` into ``n_groups``."""
+    """Contiguous near-even split of ``range(n_items)`` into ``n_groups``.
+
+    ``n_groups`` is clamped to ``n_items``: an empty group would be a
+    shard with an empty calendar forever, which the coordinator would
+    dutifully poll every round for nothing.  Zero items yields zero
+    groups for the same reason.
+    """
+    n_groups = min(n_groups, n_items)
+    if n_groups <= 0:
+        return ()
     base, extra = divmod(n_items, n_groups)
     groups: list[tuple[int, ...]] = []
     start = 0
@@ -72,24 +96,37 @@ def _split(n_items: int, n_groups: int) -> tuple[tuple[int, ...], ...]:
     return tuple(groups)
 
 
-def plan_shards(config: ClusterConfig, n_shards: int) -> ShardPlan:
+def plan_shards(
+    config: ClusterConfig,
+    n_shards: int,
+    server_shards: int | None = None,
+) -> ShardPlan:
     """Partition ``config``'s cluster into ``n_shards`` domains.
 
-    Clients are spread over ``n_shards - 1`` shards; the server domain
-    always shares **one** calendar.  That asymmetry is what makes the
-    byte-identity guarantee robust: same-instant uplink departures from
-    different *servers* are ordered by the single calendar's event ids,
-    whose order traces through an unbounded history of insertion instants
-    (disk starts, cache hits, wire grants) — reproducible across
-    calendars only by keeping those servers *on the same calendar*, where
-    dispatch order is event-id order by construction.  Client nodes need
-    no such care: they are homogeneous IOR instances whose same-instant
-    handoffs are symmetric, so the (client, strip) key orders them
-    exactly (DESIGN.md section 10).  With ``--shards 2`` this is the
-    natural cut: all clients on one calendar, all servers on the other.
-    ``n_shards`` is clamped to ``n_clients + 1``; asking for fewer than
-    two shards or sharding a zero-latency fabric is a configuration
-    error (zero lookahead admits no conservative window).
+    ``server_shards`` pins how many of those domains hold I/O servers
+    (``--server-shards N``); the remaining ``n_shards - server_shards``
+    hold clients.  Left ``None``, the split is automatic: one server
+    shard until every client node has a calendar of its own, then the
+    overflow spreads the servers — ``--shards 2`` keeps its natural cut
+    (all clients | all servers), and asking for more shards than the
+    cluster has nodes to fill clamps rather than erroring.
+
+    Splitting servers is safe for byte-identity because every wire
+    record crossing the boundary carries a *rank* naming where its
+    departure's event id was assigned — during the previous departure's
+    dispatch on the same uplink (period-continuing, ordered by the
+    coordinator's own relay sequence) or during its own chain's
+    dispatch (period-starting, ordered by the busy-period root, a
+    delivery sort key) — and the coordinator's :class:`WireMerge`
+    interleaves calendars inside each tie group from those ranks while
+    never reordering records of one calendar (DESIGN.md section 10).
+    The sharded golden leg re-validates the rules against all 21 quick
+    snapshots under a server-split plan.
+
+    Asking for fewer than two shards or sharding a zero-latency fabric
+    is a configuration error (zero lookahead admits no conservative
+    window); so is a ``server_shards`` request that leaves no room for a
+    client shard.
     """
     if n_shards < 2:
         raise ConfigError(
@@ -101,12 +138,28 @@ def plan_shards(config: ClusterConfig, n_shards: int) -> ShardPlan:
             "conservative lookahead equals the fabric latency, and a "
             "zero-lookahead window can never advance"
         )
-    n_shards = min(n_shards, config.n_clients + 1)
-    n_client_shards = max(1, n_shards - 1)
+    if server_shards is not None:
+        if server_shards < 1:
+            raise ConfigError(
+                f"--server-shards needs at least 1, got {server_shards}"
+            )
+        if server_shards >= n_shards:
+            raise ConfigError(
+                f"--server-shards {server_shards} leaves no client shard "
+                f"out of --shards {n_shards}; need server-shards < shards"
+            )
+        n_server_shards = min(server_shards, config.n_servers)
+        n_client_shards = min(n_shards - n_server_shards, config.n_clients)
+    else:
+        n_shards = min(n_shards, config.n_clients + config.n_servers)
+        # Clients first (they carry the per-segment interrupt work the
+        # shard cut targets), overflow into server shards.
+        n_client_shards = min(max(1, n_shards - 1), config.n_clients)
+        n_server_shards = min(n_shards - n_client_shards, config.n_servers)
     return ShardPlan(
         lookahead=config.network.latency,
         client_groups=_split(config.n_clients, n_client_shards),
-        server_groups=(tuple(range(config.n_servers)),),
+        server_groups=_split(config.n_servers, n_server_shards),
     )
 
 
@@ -134,14 +187,35 @@ def shard_block_reason(
     return None
 
 
-def shards_requested() -> int:
-    """The ambient ``REPRO_SHARDS`` request; 0 when unset or malformed."""
-    raw = os.environ.get(SHARDS_ENV, "")
+def _int_env(env: str, floor: int) -> int:
+    """Parse an integer shard request from ``env``; 0 when unset, below
+    ``floor``, or malformed.  A malformed value gets one stderr line —
+    silently running single-calendar after a typo'd ``REPRO_SHARDS=tow``
+    would be indistinguishable from an eligible sharded run."""
+    raw = os.environ.get(env, "")
+    if not raw:
+        return 0
     try:
         n = int(raw)
     except ValueError:
+        print(
+            f"warning: ignoring malformed {env}={raw!r} (expected an "
+            "integer); falling back to the unsharded default",
+            file=sys.stderr,
+        )
         return 0
-    return n if n >= 2 else 0
+    return n if n >= floor else 0
+
+
+def shards_requested() -> int:
+    """The ambient ``REPRO_SHARDS`` request; 0 when unset or malformed."""
+    return _int_env(SHARDS_ENV, 2)
+
+
+def server_shards_requested() -> int | None:
+    """The ambient ``REPRO_SERVER_SHARDS`` request; None means auto-split."""
+    n = _int_env(SERVER_SHARDS_ENV, 1)
+    return n if n else None
 
 
 def transport_requested() -> str:

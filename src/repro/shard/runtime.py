@@ -112,6 +112,9 @@ class ClientShardRuntime:
             all_procs.extend(procs)
         self._latency = net.latency
         self._allof: Event = AllOf(env, all_procs)
+        # Persistent stop latch: one subscription for the thousands of
+        # windows this runtime will advance (see Environment.window_stop).
+        self._stop = env.window_stop(self._allof)
         self._done_at: float | None = None
 
     def _make_submit(self, uplink: t.Any) -> t.Callable[[StripRequest], None]:
@@ -149,7 +152,7 @@ class ClientShardRuntime:
             done = nic.admit(packet.size, arrival)
             env.call_at(done, nic.complete_rx, packet)
         if self._done_at is None:
-            if env.run_window(bound, stop=self._allof):
+            if env.run_window(bound, stop=self._stop):
                 # Stop exactly at the AllOf dispatch, as run(until=AllOf)
                 # does; residual calendar entries are never dispatched.
                 self._done_at = env.now
@@ -222,9 +225,14 @@ class ServerShardRuntime:
         started = time.perf_counter()
         env = self.env
         for item in deliveries:
-            kind, when = item[0], item[2]
-            request = item[3]
+            kind, gen, when, request = item
             server = self._servers[request.server]
+            # The chain's origin key (== the coordinator's delivery sort
+            # key): the busy-period root its wire departures will carry
+            # across the shard boundary (see ShardWirePort).
+            self.port.chain_roots[
+                (request.client, request.request_id, request.strip_id)
+            ] = (when, gen, request.client, request.strip_id, 0)
             if kind == "serve":
                 env.process(server.serve(request), quiet=True, start_at=when)
             else:

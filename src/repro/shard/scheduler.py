@@ -1,0 +1,156 @@
+"""The work-stealing window scheduler shared by both shard transports.
+
+One conservative round produces a batch of *ready windows* — (shard,
+bound, deliveries) tasks for every shard that has calendar work or fresh
+deliveries below the round bound.  Whoever hosts more than one runtime
+(the ``inproc`` coordinator hosts all of them; an ``mp`` worker hosts a
+group when there are more shards than worker processes) executes its
+batch through a :class:`WindowExecutor`:
+
+* every runtime has a **home worker** (LPT assignment by domain size, so
+  a five-node client group and a one-node server group don't land on the
+  same worker while another sits idle);
+* each worker drains its own deque front-to-back, and when it runs dry
+  it **steals** the tail of the most loaded worker's deque — the classic
+  work-stealing discipline, here over whole conservative windows;
+* heterogeneous rounds therefore never serialize on the slowest
+  calendar's home worker: an idle worker picks the loaded worker's
+  queued windows up instead of waiting for the barrier.
+
+Stealing cannot perturb results: a window task touches exactly one
+runtime (its own event calendar), tasks in one round are pairwise
+independent (that is what the conservative bound guarantees), and the
+coordinator merges replies by shard id — so execution order, worker
+count, and steal decisions are all invisible to the simulation bytes.
+The ``steals`` counter is surfaced through ``ShardOutcome`` so the bench
+payload records how often the scheduler rebalanced.
+
+Worker count: ``REPRO_SHARD_WORKERS`` when set; otherwise one worker per
+CPU core (capped by the number of runtimes), degrading to plain serial
+execution on a single-core host where extra threads only add switching
+cost under the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import typing as t
+
+__all__ = ["WindowExecutor", "workers_requested"]
+
+#: Worker-thread override for window execution (tests pin this to
+#: exercise the stealing path deterministically on any host).
+WORKERS_ENV = "REPRO_SHARD_WORKERS"
+
+
+def workers_requested() -> int:
+    """The ``REPRO_SHARD_WORKERS`` override; 0 means auto (CPU count)."""
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        n = int(raw)
+    except ValueError:
+        return 0
+    return n if n >= 1 else 0
+
+
+class WindowExecutor:
+    """Executes one round's window tasks over work-stealing workers."""
+
+    def __init__(
+        self,
+        runtimes: t.Mapping[int, t.Any],
+        n_workers: int | None = None,
+    ) -> None:
+        self.runtimes = dict(runtimes)
+        if n_workers is None:
+            n_workers = workers_requested() or (os.cpu_count() or 1)
+        self.n_workers = max(1, min(n_workers, len(self.runtimes) or 1))
+        #: Windows executed by a worker other than the task's home.
+        self.steals = 0
+        # LPT home assignment: heaviest runtime first onto the least
+        # loaded worker.  Weight = nodes on the calendar (client nodes or
+        # servers) — a proxy for events per window that needs no
+        # profiling and keeps the assignment deterministic.
+        self._home: dict[int, int] = {}
+        loads = [0.0] * self.n_workers
+        by_weight = sorted(
+            self.runtimes.items(),
+            key=lambda item: (-self._weight(item[1]), item[0]),
+        )
+        for sid, _runtime in by_weight:
+            worker = min(range(self.n_workers), key=lambda w: (loads[w], w))
+            self._home[sid] = worker
+            loads[worker] += self._weight(self.runtimes[sid])
+
+    @staticmethod
+    def _weight(runtime: t.Any) -> float:
+        indices = getattr(runtime, "client_indices", None)
+        if indices is None:
+            indices = getattr(runtime, "server_indices", ())
+        return float(len(indices) or 1)
+
+    def run_round(
+        self, tasks: t.Sequence[tuple[int, float, list]]
+    ) -> dict[int, t.Any]:
+        """Run ``(sid, bound, deliveries)`` tasks; replies keyed by sid."""
+        if self.n_workers == 1 or len(tasks) <= 1:
+            return {
+                sid: self.runtimes[sid].advance(bound, deliveries)
+                for sid, bound, deliveries in tasks
+            }
+        return self._run_stealing(tasks)
+
+    def _run_stealing(
+        self, tasks: t.Sequence[tuple[int, float, list]]
+    ) -> dict[int, t.Any]:
+        deques: list[list[tuple[int, float, list]]] = [
+            [] for _ in range(self.n_workers)
+        ]
+        for task in tasks:
+            deques[self._home[task[0]]].append(task)
+        replies: dict[int, t.Any] = {}
+        lock = threading.Lock()
+        steals = 0
+
+        def next_task(worker: int) -> tuple[int, float, list] | None:
+            nonlocal steals
+            with lock:
+                if deques[worker]:
+                    return deques[worker].pop(0)
+                victim = max(
+                    range(self.n_workers), key=lambda w: (len(deques[w]), -w)
+                )
+                if deques[victim]:
+                    steals += 1
+                    return deques[victim].pop()
+                return None
+
+        def work(worker: int) -> None:
+            while True:
+                task = next_task(worker)
+                if task is None:
+                    return
+                sid, bound, deliveries = task
+                reply = self.runtimes[sid].advance(bound, deliveries)
+                with lock:
+                    replies[sid] = reply
+
+        threads = [
+            threading.Thread(target=work, args=(w,), daemon=True)
+            for w in range(1, self.n_workers)
+        ]
+        for thread in threads:
+            thread.start()
+        work(0)
+        for thread in threads:
+            thread.join()
+        self.steals += steals
+        return replies
+
+    def finalize(self, t_end: float) -> dict[int, t.Any]:
+        """Collect every runtime's finalize reply, keyed by sid."""
+        return {
+            sid: runtime.finalize(t_end)
+            for sid, runtime in sorted(self.runtimes.items())
+        }

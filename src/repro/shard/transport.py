@@ -2,50 +2,71 @@
 
 ``inproc``
     The coordinator constructs every runtime in its own process and
-    drives them synchronously.  No parallelism — used by the equivalence
-    tests (bit-identical by construction, zero spawn cost) and as the
-    automatic fallback when worker processes cannot be spawned.
+    drives them through one :class:`~repro.shard.scheduler.WindowExecutor`.
+    Used by the equivalence tests (bit-identical by construction, zero
+    spawn cost) and as the automatic fallback when worker processes
+    cannot be spawned.
 
 ``mp``
-    One ``multiprocessing`` worker per shard, speaking the windowed
-    protocol over a duplex pipe.  The coordinator posts ``advance`` to
-    every worker before collecting any reply, so shard windows execute
-    concurrently; the per-round synchronization cost is one pipe
-    round-trip, amortized over every event in the window.
+    A pool of ``multiprocessing`` workers, each hosting one *or more*
+    shard runtimes and speaking the windowed protocol over a duplex
+    pipe.  The coordinator posts each round's ready windows to every
+    worker before collecting any reply, so windows execute concurrently
+    across workers; a worker hosting several runtimes (more shards than
+    cores) runs its batch through its own embedded ``WindowExecutor``,
+    so colocated calendars share the worker via the same work-stealing
+    discipline the coordinator uses in-process.
 
-Both transports run the identical runtime code, so they produce the
-identical bytes; only wall-clock differs.
+Both transports run the identical runtime code in the identical window
+order, so they produce identical bytes; only wall-clock differs.  Shard
+ids are positions in the plan's spec list (client groups first, then
+server groups), and every handle answers for the set of ids it hosts.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import typing as t
 
 from ..config import ClusterConfig
 from ..errors import SimulationError
 from .plan import ShardPlan
 from .runtime import build_runtime
+from .scheduler import WindowExecutor, workers_requested
 
 __all__ = ["start_shards"]
 
 
 class _InprocHandle:
-    """Synchronous handle: the runtime lives in the coordinator process."""
+    """Synchronous handle: every runtime lives in the coordinator process."""
 
-    def __init__(self, runtime: t.Any) -> None:
-        self.runtime = runtime
-        self.kind = runtime.kind
+    def __init__(
+        self,
+        config: ClusterConfig,
+        specs: list[tuple[int, str, tuple[int, ...]]],
+    ) -> None:
+        self.shards = tuple(sid for sid, _kind, _indices in specs)
+        self._executor = WindowExecutor(
+            {
+                sid: build_runtime(config, kind, indices)
+                for sid, kind, indices in specs
+            }
+        )
         self._reply: t.Any = None
 
-    def initial_peek(self) -> float:
-        return self.runtime.initial_peek()
+    def initial_peeks(self) -> dict[int, float]:
+        return {
+            sid: runtime.initial_peek()
+            for sid, runtime in self._executor.runtimes.items()
+        }
 
-    def post_advance(self, bound: float, deliveries: list) -> None:
-        self._reply = self.runtime.advance(bound, deliveries)
+    def post_advance(self, tasks: list[tuple[int, float, list]]) -> None:
+        self._reply = (self._executor.run_round(tasks), self._executor.steals)
+        self._executor.steals = 0
 
     def post_finalize(self, t_end: float) -> None:
-        self._reply = self.runtime.finalize(t_end)
+        self._reply = (self._executor.finalize(t_end), 0)
 
     def recv(self) -> t.Any:
         reply, self._reply = self._reply, None
@@ -56,19 +77,38 @@ class _InprocHandle:
 
 
 def _worker_main(
-    conn: t.Any, config: ClusterConfig, kind: str, indices: tuple[int, ...]
+    conn: t.Any,
+    config: ClusterConfig,
+    specs: list[tuple[int, str, tuple[int, ...]]],
+    n_threads: int,
 ) -> None:
-    """Worker loop: build the runtime, then serve windowed commands."""
+    """Worker loop: build this worker's runtimes, then serve windows."""
     try:
-        runtime = build_runtime(config, kind, indices)
-        conn.send(("ok", runtime.initial_peek()))
+        executor = WindowExecutor(
+            {
+                sid: build_runtime(config, kind, indices)
+                for sid, kind, indices in specs
+            },
+            n_workers=n_threads,
+        )
+        conn.send(
+            (
+                "ok",
+                {
+                    sid: runtime.initial_peek()
+                    for sid, runtime in executor.runtimes.items()
+                },
+            )
+        )
         while True:
             msg = conn.recv()
             cmd = msg[0]
             if cmd == "advance":
-                conn.send(("ok", runtime.advance(msg[1], msg[2])))
+                replies = executor.run_round(msg[1])
+                steals, executor.steals = executor.steals, 0
+                conn.send(("ok", (replies, steals)))
             elif cmd == "finalize":
-                conn.send(("ok", runtime.finalize(msg[1])))
+                conn.send(("ok", (executor.finalize(msg[1]), 0)))
             elif cmd == "stop":
                 break
     except EOFError:  # coordinator died; nothing to report to
@@ -85,44 +125,49 @@ def _worker_main(
 
 
 class _MpHandle:
-    """One worker process driven over a duplex pipe."""
+    """One worker process hosting a group of runtimes over a duplex pipe."""
 
     def __init__(
         self,
         ctx: t.Any,
         config: ClusterConfig,
-        kind: str,
-        indices: tuple[int, ...],
+        specs: list[tuple[int, str, tuple[int, ...]]],
+        n_threads: int,
     ) -> None:
-        self.kind = kind
+        self.shards = tuple(sid for sid, _kind, _indices in specs)
         self._conn, child = ctx.Pipe(duplex=True)
         self._proc = ctx.Process(
             target=_worker_main,
-            args=(child, config, kind, indices),
+            args=(child, config, specs, n_threads),
             daemon=True,
         )
         self._proc.start()
         child.close()
 
-    def initial_peek(self) -> float:
-        return self.recv()
+    def initial_peeks(self) -> dict[int, float]:
+        return self._recv_raw()
 
-    def post_advance(self, bound: float, deliveries: list) -> None:
-        self._conn.send(("advance", bound, deliveries))
+    def _recv_raw(self) -> t.Any:
+        try:
+            tag, payload = self._conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard worker (shards {self.shards}) exited without a reply"
+            ) from None
+        if tag == "error":
+            raise SimulationError(
+                f"shard worker (shards {self.shards}) failed:\n{payload}"
+            )
+        return payload
+
+    def post_advance(self, tasks: list[tuple[int, float, list]]) -> None:
+        self._conn.send(("advance", tasks))
 
     def post_finalize(self, t_end: float) -> None:
         self._conn.send(("finalize", t_end))
 
     def recv(self) -> t.Any:
-        try:
-            tag, payload = self._conn.recv()
-        except EOFError:
-            raise SimulationError(
-                f"shard worker ({self.kind}) exited without a reply"
-            ) from None
-        if tag == "error":
-            raise SimulationError(f"shard worker ({self.kind}) failed:\n{payload}")
-        return payload
+        return self._recv_raw()
 
     def close(self) -> None:
         try:
@@ -136,10 +181,29 @@ class _MpHandle:
             self._proc.join(timeout=5.0)
 
 
-def _specs(plan: ShardPlan) -> list[tuple[str, tuple[int, ...]]]:
-    return [("client", group) for group in plan.client_groups] + [
-        ("server", group) for group in plan.server_groups
+def _specs(plan: ShardPlan) -> list[tuple[int, str, tuple[int, ...]]]:
+    specs: list[tuple[int, str, tuple[int, ...]]] = []
+    for group in plan.client_groups:
+        specs.append((len(specs), "client", group))
+    for group in plan.server_groups:
+        specs.append((len(specs), "server", group))
+    return specs
+
+
+def _partition(
+    specs: list[tuple[int, str, tuple[int, ...]]], n_workers: int
+) -> list[list[tuple[int, str, tuple[int, ...]]]]:
+    """LPT split of shard specs over ``n_workers`` worker processes."""
+    n_workers = max(1, min(n_workers, len(specs)))
+    groups: list[list[tuple[int, str, tuple[int, ...]]]] = [
+        [] for _ in range(n_workers)
     ]
+    loads = [0] * n_workers
+    for spec in sorted(specs, key=lambda s: (-len(s[2]), s[0])):
+        worker = min(range(n_workers), key=lambda w: (loads[w], w))
+        groups[worker].append(spec)
+        loads[worker] += len(spec[2]) or 1
+    return [sorted(group) for group in groups if group]
 
 
 def start_shards(
@@ -147,22 +211,27 @@ def start_shards(
 ) -> tuple[list[t.Any], list[float]]:
     """Start every shard on ``transport``; returns (handles, initial peeks).
 
-    A failure to spawn workers (restricted environments) falls back to
-    the in-process transport rather than failing the run — the bytes are
-    the same either way.
+    Peeks are indexed by shard id.  A failure to spawn workers
+    (restricted environments) falls back to the in-process transport
+    rather than failing the run — the bytes are the same either way.
     """
+    specs = _specs(plan)
+    handles: list[t.Any] = []
     if transport == "mp":
+        n_workers = workers_requested() or (os.cpu_count() or 1)
         try:
             ctx = mp.get_context()
-            handles: list[t.Any] = [
-                _MpHandle(ctx, config, kind, indices)
-                for kind, indices in _specs(plan)
-            ]
-            return handles, [handle.initial_peek() for handle in handles]
+            parts = _partition(specs, n_workers)
+            # Colocated runtimes get one thread each up to the worker's
+            # fair share of cores; a worker hosting one runtime needs none.
+            for part in parts:
+                handles.append(_MpHandle(ctx, config, part, len(part)))
         except (OSError, ValueError):
-            pass  # fall through to inproc
-    handles = [
-        _InprocHandle(build_runtime(config, kind, indices))
-        for kind, indices in _specs(plan)
-    ]
-    return handles, [handle.initial_peek() for handle in handles]
+            handles = []  # fall through to inproc
+    if not handles:
+        handles = [_InprocHandle(config, specs)]
+    peeks = [0.0] * len(specs)
+    for handle in handles:
+        for sid, peek in handle.initial_peeks().items():
+            peeks[sid] = peek
+    return handles, peeks

@@ -57,6 +57,39 @@ class TestSuiteShape:
             == entry_by_name("mtu1500_read").config
         )
 
+    def test_server_sharded_twin_is_quick(self):
+        entry = entry_by_name("micro_srv2_read")
+        assert entry.quick
+        assert entry.shards == 3
+        assert entry.server_shards == 2
+        assert entry.config == entry_by_name("micro_read").config
+
+    def test_server_sharded_fanin_cuts_share_the_config(self):
+        single = entry_by_name("fanin_multiclient")
+        for name, shards, servers in (
+            ("fanin_multiclient_shard8_srv4", 8, 4),
+            ("fanin_multiclient_shard20", 20, 16),
+        ):
+            entry = entry_by_name(name)
+            assert entry.config == single.config
+            assert entry.shards == shards
+            assert entry.server_shards == servers
+
+    def test_deep_fabric_pair_shares_one_config(self):
+        single = entry_by_name("fanin_deep")
+        sharded = entry_by_name("fanin_deep_shard20")
+        assert single.config == sharded.config
+        assert single.shards == 0
+        assert sharded.shards == 20
+        assert sharded.server_shards == 16
+        # The deep point is the shallow fan-in with only the fabric
+        # latency moved — same workload, same nodes.
+        shallow = entry_by_name("fanin_multiclient").config
+        assert single.config.network.latency > shallow.network.latency
+        assert dataclasses.replace(
+            single.config.network, latency=shallow.network.latency
+        ) == shallow.network
+
 
 class TestRunEntryShards:
     def _micro_sharded(self):
@@ -109,6 +142,37 @@ class TestCommittedTrajectory:
         projected = entries["fanin_multiclient_shard5"]["projected_wall_s"]
         assert projected > 0.0
         assert single / projected >= 1.5
+
+    def test_server_sharded_event_parity(self, repo_root):
+        """Every server-split cut of the fan-in dispatches exactly the
+        single calendar's events — the N-way byte-identity guarantee at
+        bench scale."""
+        payload = _sharded_trajectory(repo_root)
+        entries = {e["name"]: e for e in payload["entries"]}
+        if "fanin_multiclient_shard20" not in entries:
+            pytest.skip("trajectory predates server-sharded entries")
+        single = entries["fanin_multiclient"]["events_processed"]
+        for name in (
+            "fanin_multiclient_shard8_srv4",
+            "fanin_multiclient_shard20",
+        ):
+            assert entries[name]["events_processed"] == single
+            assert entries[name]["server_shards"] > 1
+
+    def test_deep_fanin_projected_speedup_at_least_3x(self, repo_root):
+        """The N-way acceptance bar: on the deep-fabric fan-in pair the
+        one-calendar-per-node cut projects >= 3x over the single
+        calendar, at exact event parity."""
+        payload = _sharded_trajectory(repo_root)
+        entries = {e["name"]: e for e in payload["entries"]}
+        if "fanin_deep_shard20" not in entries:
+            pytest.skip("trajectory predates the deep-fabric pair")
+        single = entries["fanin_deep"]
+        sharded = entries["fanin_deep_shard20"]
+        assert sharded["events_processed"] == single["events_processed"]
+        projected = sharded["projected_wall_s"]
+        assert projected > 0.0
+        assert single["wall_time_s"] / projected >= 3.0
 
     def test_fanin_wall_speedup_on_multicore_hosts(self, repo_root):
         """The wall-clock form of the same gate — only meaningful when

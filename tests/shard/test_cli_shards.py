@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import _build_parser, _install_shards
-from repro.shard import SHARDS_ENV
+from repro.shard import SERVER_SHARDS_ENV, SHARDS_ENV
 
 
 class TestShardsFlag:
@@ -31,16 +31,63 @@ class TestShardsFlag:
         assert "--shards" in capsys.readouterr().err
 
     def test_install_publishes_the_ambient_request(self, monkeypatch):
-        monkeypatch.delenv(SHARDS_ENV, raising=False)
-        args = _build_parser().parse_args(["run", "x", "--shards", "4"])
-        _install_shards(args)
         import os
 
-        assert os.environ[SHARDS_ENV] == "4"
-        monkeypatch.delenv(SHARDS_ENV)
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(["run", "x", "--shards", "4"])
+        try:
+            _install_shards(args)
+            assert os.environ[SHARDS_ENV] == "4"
+        finally:
+            # _install_shards writes os.environ directly; monkeypatch
+            # would *restore* (re-leak) such a value at teardown.
+            os.environ.pop(SHARDS_ENV, None)
 
     def test_shards_composes_with_jobs_in_one_invocation(self):
         args = _build_parser().parse_args(
             ["run", "all", "--jobs", "4", "--shards", "2"]
         )
         assert args.jobs == 4 and args.shards == 2
+
+
+class TestServerShardsFlag:
+    def test_server_shards_parses_and_publishes(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.delenv(SERVER_SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(
+            ["run", "x", "--shards", "6", "--server-shards", "2"]
+        )
+        assert args.shards == 6 and args.server_shards == 2
+        try:
+            _install_shards(args)
+            assert os.environ[SHARDS_ENV] == "6"
+            assert os.environ[SERVER_SHARDS_ENV] == "2"
+        finally:
+            os.environ.pop(SHARDS_ENV, None)
+            os.environ.pop(SERVER_SHARDS_ENV, None)
+
+    def test_server_shards_without_shards_exits(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        monkeypatch.delenv(SERVER_SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(
+            ["run", "x", "--server-shards", "2"]
+        )
+        with pytest.raises(SystemExit, match="--server-shards"):
+            _install_shards(args)
+        import os
+
+        assert SERVER_SHARDS_ENV not in os.environ
+
+    def test_default_leaves_env_unset(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv(SERVER_SHARDS_ENV, raising=False)
+        args = _build_parser().parse_args(["run", "x", "--shards", "2"])
+        assert args.server_shards is None
+        try:
+            _install_shards(args)
+            assert SERVER_SHARDS_ENV not in os.environ
+        finally:
+            os.environ.pop(SHARDS_ENV, None)

@@ -116,6 +116,47 @@ class TestByteIdentity:
         assert sharded == single
         assert model_events == single_events
 
+    def test_server_sharded_plan_is_byte_identical(self, monkeypatch):
+        """Splitting the servers across calendars — the N-way cut — must
+        be as invisible as the client split."""
+        config = _small(n_clients=3)
+        single, single_events, _ = _single(config)
+        monkeypatch.setenv("REPRO_SERVER_SHARDS", "2")
+        sharded, model_events, sim = _sharded(config, 5, monkeypatch)
+        assert sim.shard_outcome is not None
+        assert sim.shard_outcome.server_shards == 2
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_one_calendar_per_server_is_byte_identical(self, monkeypatch):
+        """The maximal split: every server on its own calendar, so every
+        cross-uplink tie is a cross-calendar merge decision."""
+        config = _small(n_clients=2)
+        single, single_events, _ = _single(config)
+        monkeypatch.setenv("REPRO_SERVER_SHARDS", "4")
+        sharded, model_events, sim = _sharded(config, 6, monkeypatch)
+        assert sim.shard_outcome is not None
+        assert sim.shard_outcome.server_shards == 4
+        assert sharded == single
+        assert model_events == single_events
+
+    def test_mp_and_inproc_agree_on_a_server_sharded_plan(self, monkeypatch):
+        """Transport equivalence on the N-way cut: worker processes and
+        the in-process coordinator must produce the same bytes."""
+        config = _small(n_clients=2)
+        monkeypatch.setenv("REPRO_SERVER_SHARDS", "2")
+        inproc, inproc_events, sim_in = _sharded(
+            config, 4, monkeypatch, transport="inproc"
+        )
+        mp, mp_events, sim_mp = _sharded(
+            config, 4, monkeypatch, transport="mp"
+        )
+        assert sim_in.shard_outcome is not None
+        assert sim_mp.shard_outcome is not None
+        assert sim_mp.shard_outcome.server_shards == 2
+        assert mp == inproc
+        assert mp_events == inproc_events
+
     def test_run_sharded_direct_outcome_accounting(self):
         config = _small()
         _, single_events, _ = _single(config)

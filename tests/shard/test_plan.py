@@ -11,13 +11,16 @@ from repro.errors import ConfigError
 from repro.faults import FaultPlan
 from repro.shard import (
     NO_SHARDS_ENV,
+    SERVER_SHARDS_ENV,
     SHARDS_ENV,
     TRANSPORT_ENV,
     plan_shards,
+    server_shards_requested,
     shard_block_reason,
     shards_requested,
     transport_requested,
 )
+from repro.shard.plan import _split
 
 
 class TestPlanShards:
@@ -41,9 +44,36 @@ class TestPlanShards:
         flat = [c for group in plan.client_groups for c in group]
         assert flat == list(range(5))
 
-    def test_shard_count_clamped_to_clients_plus_one(self):
+    def test_auto_split_overflows_into_server_shards(self):
+        # 2 clients + 8 servers: shards beyond n_clients + 1 spread the
+        # servers instead of clamping at one server calendar.
         plan = plan_shards(ClusterConfig(n_clients=2), 10)
-        assert plan.n_shards == 3
+        assert plan.client_groups == ((0,), (1,))
+        assert plan.n_server_shards == 8
+        assert plan.n_shards == 10
+
+    def test_shard_count_clamped_to_total_nodes(self):
+        plan = plan_shards(ClusterConfig(n_clients=2), 64)
+        assert plan.n_shards == 2 + 8
+        assert all(len(g) == 1 for g in plan.server_groups)
+
+    def test_server_shards_request_pins_server_calendars(self):
+        plan = plan_shards(ClusterConfig(n_clients=4), 6, server_shards=2)
+        assert plan.client_groups == ((0,), (1,), (2,), (3,))
+        assert plan.server_groups == ((0, 1, 2, 3), (4, 5, 6, 7))
+
+    def test_server_shards_clamped_to_server_count(self):
+        plan = plan_shards(ClusterConfig(n_clients=1), 12, server_shards=11)
+        assert plan.n_server_shards == 8
+        assert plan.n_client_shards == 1
+
+    def test_server_shards_must_leave_a_client_shard(self):
+        with pytest.raises(ConfigError, match="no client shard"):
+            plan_shards(ClusterConfig(), 4, server_shards=4)
+
+    def test_server_shards_below_one_rejected(self):
+        with pytest.raises(ConfigError, match="at least 1"):
+            plan_shards(ClusterConfig(), 4, server_shards=0)
 
     def test_fewer_than_two_shards_rejected(self):
         with pytest.raises(ConfigError, match="at least 2"):
@@ -55,6 +85,35 @@ class TestPlanShards:
         )
         with pytest.raises(ConfigError, match="zero switch latency"):
             plan_shards(config, 2)
+
+
+class TestSplit:
+    """The contiguous near-even partitioner behind every shard plan."""
+
+    def test_zero_items_yields_zero_groups(self):
+        assert _split(0, 4) == ()
+
+    def test_zero_groups_yields_zero_groups(self):
+        assert _split(5, 0) == ()
+
+    def test_one_item_clamps_to_one_group(self):
+        assert _split(1, 8) == ((0,),)
+
+    def test_more_groups_than_items_clamps_no_empty_groups(self):
+        groups = _split(3, 7)
+        assert groups == ((0,), (1,), (2,))
+        assert all(groups), "an empty group would poll forever"
+
+    def test_partition_is_exact_and_contiguous(self):
+        groups = _split(10, 3)
+        assert groups == ((0, 1, 2, 3), (4, 5, 6), (7, 8, 9))
+        assert [i for g in groups for i in g] == list(range(10))
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n_items in range(1, 12):
+            for n_groups in range(1, 12):
+                sizes = [len(g) for g in _split(n_items, n_groups)]
+                assert max(sizes) - min(sizes) <= 1
 
 
 class TestShardBlockReason:
@@ -104,6 +163,39 @@ class TestAmbientRequests:
     def test_valid_request_passes_through(self, monkeypatch):
         monkeypatch.setenv(SHARDS_ENV, "4")
         assert shards_requested() == 4
+
+    def test_malformed_request_warns_on_stderr(self, monkeypatch, capsys):
+        """A typo'd REPRO_SHARDS must not silently run unsharded — the
+        fallback gets one diagnostic line naming the bad value."""
+        monkeypatch.setenv(SHARDS_ENV, "tow")
+        assert shards_requested() == 0
+        err = capsys.readouterr().err
+        assert "REPRO_SHARDS" in err
+        assert "'tow'" in err
+        assert "unsharded" in err
+
+    def test_numeric_sub_floor_request_does_not_warn(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(SHARDS_ENV, "1")
+        assert shards_requested() == 0
+        assert capsys.readouterr().err == ""
+
+    def test_malformed_server_request_warns_on_stderr(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.setenv(SERVER_SHARDS_ENV, "four")
+        assert server_shards_requested() is None
+        err = capsys.readouterr().err
+        assert "REPRO_SERVER_SHARDS" in err
+
+    def test_server_shards_request_passes_through(self, monkeypatch):
+        monkeypatch.setenv(SERVER_SHARDS_ENV, "3")
+        assert server_shards_requested() == 3
+
+    def test_server_shards_unset_means_auto(self, monkeypatch):
+        monkeypatch.delenv(SERVER_SHARDS_ENV, raising=False)
+        assert server_shards_requested() is None
 
     @pytest.mark.parametrize("name", ["inproc", "mp"])
     def test_transport_override(self, monkeypatch, name):

@@ -15,9 +15,12 @@ import pytest
 from repro.config import ClusterConfig
 from repro.des import Environment
 from repro.errors import SimulationError
+from repro.net.packet import Packet
 from repro.pfs.request import StripRequest
 from repro.shard import plan_shards, run_plan
-from repro.shard.coordinator import _delivery_key, _fabric_key
+from repro.shard.fabric import WireMerge
+from repro.shard.fabric import delivery_key as _delivery_key
+from repro.shard.fabric import merge_key as _fabric_key
 from repro.shard.runtime import INF, ServerShardRuntime
 
 
@@ -88,6 +91,60 @@ class TestRunWindow:
         assert env.run_window(100.0) is False
         assert env.events_processed == 0
         assert env.peek() == INF
+
+    def test_zero_width_window_dispatches_nothing(self):
+        # The widened lookahead can only grow bounds round over round,
+        # but the primitive must still tolerate bound <= now quietly.
+        env = Environment()
+        log = []
+        env.process(_tick(env, log, 1.0, "a"), quiet=True)
+        env.run_window(1.5)
+        now = env.now
+        assert env.run_window(now) is False
+        assert env.now == now
+        assert log == [(1.0, "a")]
+
+
+class TestWindowStopLatch:
+    def test_latch_halts_the_window_like_the_event(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 1.0, "stop"), quiet=True)
+        env.process(_tick(env, log, 2.0, "late"), quiet=True)
+        latch = env.window_stop(stopper)
+        assert latch.fired is False
+        assert env.run_window(10.0, stop=latch) is True
+        assert env.now == 1.0
+        assert [entry[1] for entry in log] == ["stop"]
+
+    def test_fired_latch_short_circuits_later_windows(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 1.0, "stop"), quiet=True)
+        latch = env.window_stop(stopper)
+        env.run_window(10.0, stop=latch)
+        before = env.events_processed
+        assert env.run_window(20.0, stop=latch) is True
+        assert env.events_processed == before
+
+    def test_latch_for_processed_event_is_pre_fired(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 1.0, "stop"), quiet=True)
+        env.run_window(5.0)
+        latch = env.window_stop(stopper)
+        assert latch.fired is True
+
+    def test_latch_survives_many_windows_without_resubscription(self):
+        env = Environment()
+        log = []
+        stopper = env.process(_tick(env, log, 5.0, "stop"), quiet=True)
+        latch = env.window_stop(stopper)
+        n_callbacks = len(stopper.callbacks)
+        for bound in (1.0, 2.0, 3.0):
+            assert env.run_window(bound, stop=latch) is False
+        assert len(stopper.callbacks) == n_callbacks
+        assert env.run_window(10.0, stop=latch) is True
 
 
 class TestAbsoluteScheduling:
@@ -176,8 +233,29 @@ class TestTieOrdering:
             is_write=is_write,
         )
 
+    def _pkt(self, server, strip, client=0, segment=0):
+        return Packet(
+            size=1024,
+            src_server=server,
+            dst_client=client,
+            request_id=0,
+            strip_id=strip,
+            segment=segment,
+            n_segments=segment + 1,
+        )
+
+    def _root(self, when, gen, client, strip):
+        # The delivery sort key of the chain that started the uplink's
+        # busy period (ShardWirePort.chain_roots values).
+        return (when, gen, client, strip, 0)
+
+    def _wire(self, dep, grant, pkt, rank):
+        return ("wire", dep, grant, pkt, rank)
+
     def test_fabric_tie_orders_data_before_write_strips(self):
-        wire = ("wire", 1.0, 0.5, self._req(0, 7, is_write=False))
+        wire = self._wire(
+            1.0, 0.5, self._pkt(0, 7), ("r", self._root(0.2, 0.1, 0, 7))
+        )
         write = ("write", 1.0, 0.5, self._req(0, 3))
         assert _fabric_key(wire) < _fabric_key(write)
 
@@ -192,14 +270,85 @@ class TestTieOrdering:
             (0, 4), (0, 12), (1, 9),
         ]
 
-    def test_fabric_wire_ties_preserve_arrival_order(self):
-        """Server-shard departures tie-break by outbox order — the key
-        stops at (departure, grant), so Python's stable sort keeps them."""
-        first = ("wire", 1.0, 0.5, self._req(0, 20, is_write=False))
-        second = ("wire", 1.0, 0.5, self._req(0, 5, is_write=False))
-        recs = [first, second]
-        recs.sort(key=_fabric_key)
-        assert recs == [first, second]
+    def test_period_starting_ties_order_by_busy_period_root(self):
+        """Same-instant period-starting departures from uplinks in
+        *different* server calendars merge in the order their busy
+        periods' chains were created — the delivery key — regardless of
+        the order the records reached the coordinator."""
+        early_root = self._wire(
+            1.0, 0.5, self._pkt(7, 20), ("r", self._root(0.2, 0.1, 0, 4))
+        )
+        late_root = self._wire(
+            1.0, 0.5, self._pkt(2, 5), ("r", self._root(0.2, 0.1, 0, 11))
+        )
+        merged = WireMerge().order([(late_root, 1), (early_root, 0)])
+        assert merged == [early_root, late_root]
+
+    def test_root_ties_break_on_creation_instant(self):
+        """Roots from different delivery rounds order by the delivery's
+        calendar instant before anything else — later busy periods sort
+        after earlier ones even when their strip ids run backwards."""
+        older = self._wire(
+            2.0, 1.5, self._pkt(0, 40), ("r", self._root(0.4, 0.3, 0, 40))
+        )
+        newer = self._wire(
+            2.0, 1.5, self._pkt(3, 8), ("r", self._root(1.1, 1.0, 0, 8))
+        )
+        merged = WireMerge().order([(newer, 1), (older, 0)])
+        assert merged == [older, newer]
+
+    def test_same_calendar_order_is_never_disturbed(self):
+        """Within one server calendar the outbox order *is* the single
+        calendar's dispatch order; the merge must only interleave across
+        calendars, even when rank roots run against local order."""
+        first = self._wire(
+            2.0, 1.5, self._pkt(0, 40), ("r", self._root(1.1, 1.0, 0, 40))
+        )
+        second = self._wire(
+            2.0, 1.5, self._pkt(1, 8), ("r", self._root(0.4, 0.3, 0, 8))
+        )
+        merged = WireMerge().order([(first, 5), (second, 5)])
+        assert merged == [first, second]
+
+    def test_continuation_ties_order_by_previous_relay_position(self):
+        """An all-continuation tie group orders by where each uplink's
+        *previous* departure sat in the global relay sequence — the
+        dispatch that assigned the tied departures' event ids — not by
+        busy-period root."""
+        merge = WireMerge()
+        root_a = self._root(0.1, 0.0, 0, 1)  # earlier root ...
+        root_b = self._root(0.2, 0.1, 0, 2)  # ... than this one
+        # Round 1: uplink 9 (root_b) relays before uplink 4 (root_a).
+        start_b = self._wire(1.0, 0.4, self._pkt(9, 2), ("r", root_b))
+        start_a = self._wire(1.5, 0.9, self._pkt(4, 1), ("r", root_a))
+        merge.order([(start_b, 1), (start_a, 0)])
+        # Round 2: both uplinks' next departures tie; the single calendar
+        # dispatched uplink 9's previous departure first, so uplink 9
+        # leads — even though root_a < root_b.
+        cont_a = self._wire(
+            3.0, 2.5, self._pkt(4, 1, segment=1), ("d", 4, root_a)
+        )
+        cont_b = self._wire(
+            3.0, 2.5, self._pkt(9, 2, segment=1), ("d", 9, root_b)
+        )
+        merged = merge.order([(cont_a, 0), (cont_b, 1)])
+        assert merged == [cont_b, cont_a]
+
+    def test_mixed_ties_fall_back_to_root_order(self):
+        """A continuation standing against a period-starting departure
+        compares whole busy periods: root order."""
+        merge = WireMerge()
+        root_old = self._root(0.1, 0.0, 0, 1)
+        start = self._wire(1.0, 0.4, self._pkt(4, 1), ("r", root_old))
+        merge.order([(start, 0)])
+        cont = self._wire(
+            3.0, 2.5, self._pkt(4, 1, segment=1), ("d", 4, root_old)
+        )
+        fresh = self._wire(
+            3.0, 2.5, self._pkt(9, 2), ("r", self._root(2.0, 1.9, 0, 2))
+        )
+        merged = merge.order([(fresh, 1), (cont, 0)])
+        assert merged == [cont, fresh]
 
     def test_delivery_ties_order_by_generation_instant(self):
         early_gen = ("serve", 0.5, 2.0, self._req(0, 8, is_write=False))
