@@ -98,10 +98,11 @@ def run_entry(
     """
     import os
 
-    from ..shard import SERVER_SHARDS_ENV, SHARDS_ENV
+    from ..shard import ROUNDS_ENV, SERVER_SHARDS_ENV, SHARDS_ENV
 
     saved = {
-        env: os.environ.get(env) for env in (SHARDS_ENV, SERVER_SHARDS_ENV)
+        env: os.environ.get(env)
+        for env in (SHARDS_ENV, SERVER_SHARDS_ENV, ROUNDS_ENV)
     }
     if entry.shards:
         os.environ[SHARDS_ENV] = str(entry.shards)
@@ -111,6 +112,15 @@ def run_entry(
         os.environ[SERVER_SHARDS_ENV] = str(entry.server_shards)
     else:
         os.environ.pop(SERVER_SHARDS_ENV, None)
+    rounds_base = saved[ROUNDS_ENV]
+    if rounds_base and entry.shards:
+        # An ambient --trace-rounds request covers the whole suite; give
+        # each sharded entry its own file ("<stem>.<entry>.json") so the
+        # fan-in pair doesn't clobber a single timeline.
+        stem, ext = os.path.splitext(rounds_base)
+        os.environ[ROUNDS_ENV] = f"{stem}.{entry.name}{ext or '.json'}"
+    else:
+        os.environ.pop(ROUNDS_ENV, None)
     try:
         record, profile_text = _run_entry_timed(entry, profile, profile_top)
     finally:

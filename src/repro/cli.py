@@ -136,6 +136,16 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="override the fault plan's seed (requires --fault-plan)",
         )
+        command.add_argument(
+            "--trace-rounds",
+            default=None,
+            metavar="FILE",
+            help=(
+                "with --shards: export the coordinator's round timeline "
+                "(per-shard busy/stall, steals, LBTS bounds) as Perfetto "
+                "JSON to FILE"
+            ),
+        )
 
     sub.add_parser("list", help="list available experiments")
 
@@ -244,12 +254,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "trace",
         help=(
             "run one experiment point with causal span tracing and export "
-            "a Perfetto-loadable Chrome trace-event JSON"
+            "a Perfetto-loadable Chrome trace-event JSON; 'trace diff A.json "
+            "B.json' aligns two exported traces and attributes their gap"
         ),
     )
     trace.add_argument(
         "experiment",
-        help="experiment id or unique prefix (e.g. fig5_bandwidth)",
+        help=(
+            "experiment id or unique prefix (e.g. fig5_bandwidth), or "
+            "'diff' to compare two exported traces"
+        ),
+    )
+    trace.add_argument(
+        "inputs",
+        nargs="*",
+        metavar="TRACE.json",
+        help="for 'trace diff': exactly two exported trace files (A, B)",
     )
     trace.add_argument(
         "--scale",
@@ -287,6 +307,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeline",
         action="store_true",
         help="also print the ASCII timeline when writing --out",
+    )
+    trace.add_argument(
+        "--top",
+        type=positive_int,
+        default=10,
+        metavar="N",
+        help="for 'trace diff': rows in the moved-spans table (default: 10)",
     )
 
     def add_endpoint_options(command: argparse.ArgumentParser) -> None:
@@ -495,6 +522,17 @@ def _install_shards(args: argparse.Namespace) -> None:
                 "sais-repro: --server-shards requires --shards"
             )
         os.environ[SERVER_SHARDS_ENV] = str(server_shards)
+    trace_rounds = getattr(args, "trace_rounds", None)
+    if trace_rounds is not None:
+        import os
+
+        from .shard import ROUNDS_ENV
+
+        if shards is None:
+            raise SystemExit(
+                "sais-repro: --trace-rounds requires --shards"
+            )
+        os.environ[ROUNDS_ENV] = trace_rounds
 
 
 def _make_runner(args: argparse.Namespace) -> "t.Any":
@@ -680,9 +718,26 @@ def main(argv: t.Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "trace":
-        from .obs.trace_cli import run_trace
+        from .obs.trace_cli import run_trace, run_trace_diff
 
         try:
+            if args.experiment == "diff":
+                if len(args.inputs) != 2:
+                    raise ConfigError(
+                        "trace diff needs exactly two trace files: "
+                        "sais-repro trace diff A.json B.json"
+                    )
+                return run_trace_diff(
+                    args.inputs[0],
+                    args.inputs[1],
+                    out=args.out,
+                    top=args.top,
+                )
+            if args.inputs:
+                raise ConfigError(
+                    "positional trace files are only valid with "
+                    "'sais-repro trace diff'"
+                )
             return run_trace(
                 args.experiment,
                 scale=args.scale,

@@ -10,6 +10,7 @@ reports the speed-up — the quantity every figure in the paper plots.
 from __future__ import annotations
 
 import dataclasses
+import sys
 import typing as t
 
 from ..config import ClusterConfig
@@ -49,7 +50,8 @@ class Simulation:
         and the point is eligible, the run executes on N coupled shard
         calendars instead of this cluster's single one — byte-identical
         results, see :mod:`repro.shard`.  Ineligible points (fault plans,
-        tracing, ``REPRO_NO_SHARDS``) fall back here silently.
+        tracing, ``REPRO_NO_SHARDS``) fall back here, with a one-line
+        stderr note naming the blocking reason.
         """
         if self._ran:
             raise SimulationError(
@@ -110,7 +112,17 @@ class Simulation:
         n_shards = shards_requested()
         if n_shards < 2:
             return None
-        if shard_block_reason(self.config, self.cluster.spans) is not None:
+        reason = shard_block_reason(self.config, self.cluster.spans)
+        if reason is not None:
+            # The fallback is correct either way (byte-identical), but a
+            # user who typed --shards deserves to know the request did
+            # not take — and why — rather than wondering where the
+            # speedup went.
+            print(
+                f"warning: --shards {n_shards} requested but this run "
+                f"stays single-calendar: {reason}",
+                file=sys.stderr,
+            )
             return None
         outcome = run_sharded(self.config, n_shards)
         self.shard_outcome = outcome

@@ -164,9 +164,14 @@ class SoftirqDaemon:
         if self._expect_hints and packet.carries_data and not packet.options:
             self.unhinted.add()
         outstanding = self.pfs.segment_arrived(packet, self.core.index)
+        handled_at: float | None = None
         if outstanding is not None:
             # The strip is whole (single train, or last segment of a
-            # segmented flow).
+            # segmented flow).  This instant — protocol work done, before
+            # any cross-core wake-up IPI — is what the lifecycle tracer
+            # stamps as "handled"; the span remembers it so span-derived
+            # breakdowns reconcile exactly (repro.obs.analysis).
+            handled_at = self.env.now
             if packet.carries_data:
                 # Protocol processing pulled the packet data through
                 # this core's cache: the strip is now resident *here*.
@@ -177,7 +182,7 @@ class SoftirqDaemon:
                     packet.dst_client,
                     packet.strip_id,
                     "handled",
-                    self.env.now,
+                    handled_at,
                 )
             if outstanding.consumer_core != self.core.index:
                 # Cross-core wake-up IPI (paper: "inter-core signals
@@ -188,7 +193,14 @@ class SoftirqDaemon:
         self.handled.add()
         self.bytes_handled.add(packet.size)
         if sid is not None:
-            self.spans.end(sid)
+            self.spans.end(
+                sid,
+                args=(
+                    {"handled_at": handled_at}
+                    if handled_at is not None
+                    else None
+                ),
+            )
             if outstanding is not None and packet.carries_data:
                 # This span is where the strip's data now resides — the
                 # source of a migration edge if the consumer is elsewhere.

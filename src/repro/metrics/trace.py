@@ -22,7 +22,14 @@ import typing as t
 
 from ..errors import SimulationError
 
-__all__ = ["Tracer", "StageDelta", "LatencyBreakdown", "STAGES", "AUX_STAGES"]
+__all__ = [
+    "Tracer",
+    "StageDelta",
+    "LatencyBreakdown",
+    "breakdown_from_records",
+    "STAGES",
+    "AUX_STAGES",
+]
 
 #: Pipeline stages in order.
 STAGES = ("issued", "served", "received", "handled", "merged")
@@ -126,32 +133,48 @@ class Tracer:
 
     def breakdown(self) -> LatencyBreakdown:
         """Aggregate stage-to-stage latencies over fully-traced strips."""
-        series: dict[tuple[str, str], list[float]] = {
-            (a, b): [] for a, b in zip(STAGES, STAGES[1:])
-        }
-        complete = 0
-        for stages in self._records.values():
-            if not all(stage in stages for stage in STAGES):
-                continue
-            complete += 1
-            for a, b in zip(STAGES, STAGES[1:]):
-                series[(a, b)].append(stages[b] - stages[a])
-        if complete == 0:
-            raise SimulationError("no fully-traced strips to summarize")
-        deltas = []
-        for (a, b), values in series.items():
-            values.sort()
-            deltas.append(
-                StageDelta(
-                    from_stage=a,
-                    to_stage=b,
-                    count=len(values),
-                    mean=statistics.fmean(values),
-                    p95=values[min(len(values) - 1, int(0.95 * len(values)))],
-                    maximum=values[-1],
-                    stdev=(
-                        statistics.stdev(values) if len(values) >= 2 else 0.0
-                    ),
-                )
+        return breakdown_from_records(self._records.values())
+
+
+def breakdown_from_records(
+    records: t.Iterable[t.Mapping[str, float]],
+) -> LatencyBreakdown:
+    """Aggregate stage-to-stage latencies over stage-timestamp records.
+
+    Each record maps stage name -> timestamp; records missing any of
+    :data:`STAGES` are skipped (a write strip never merges, an aborted
+    strip never arrives).  This is the one implementation of the stage
+    statistics: :meth:`Tracer.breakdown` and the span-derived breakdown
+    in :mod:`repro.obs.analysis` both call it, so the reconciliation
+    between the two can only diverge on the *timestamps*, never on the
+    aggregation arithmetic.
+    """
+    series: dict[tuple[str, str], list[float]] = {
+        (a, b): [] for a, b in zip(STAGES, STAGES[1:])
+    }
+    complete = 0
+    for stages in records:
+        if not all(stage in stages for stage in STAGES):
+            continue
+        complete += 1
+        for a, b in zip(STAGES, STAGES[1:]):
+            series[(a, b)].append(stages[b] - stages[a])
+    if complete == 0:
+        raise SimulationError("no fully-traced strips to summarize")
+    deltas = []
+    for (a, b), values in series.items():
+        values.sort()
+        deltas.append(
+            StageDelta(
+                from_stage=a,
+                to_stage=b,
+                count=len(values),
+                mean=statistics.fmean(values),
+                p95=values[min(len(values) - 1, int(0.95 * len(values)))],
+                maximum=values[-1],
+                stdev=(
+                    statistics.stdev(values) if len(values) >= 2 else 0.0
+                ),
             )
-        return LatencyBreakdown(deltas=tuple(deltas), strips_traced=complete)
+        )
+    return LatencyBreakdown(deltas=tuple(deltas), strips_traced=complete)

@@ -21,19 +21,47 @@ Exports (:mod:`repro.obs.export`) target Chrome trace-event JSON —
 loadable in ui.perfetto.dev or chrome://tracing — plus an ASCII tree/
 timeline fallback.  ``python -m repro trace <experiment>`` drives it.
 
+On top of the recorder sits :mod:`repro.obs.analysis`: stage breakdowns
+folded from span trees (reconciled against the lifecycle tracer),
+critical-path extraction over parents + flow edges, the
+``sais-repro trace diff`` A/B attribution engine, and the shard
+round-timeline replay backing ``--trace-rounds``.
+
 Determinism: span/flow ids are small integers advanced in calendar
 (event-dispatch) order, and every timestamp is virtual time — wall clocks
 never enter a trace, so traces are byte-reproducible run-to-run.
 """
 
+from .analysis import (
+    CriticalPath,
+    StageBreakdown,
+    TraceDiff,
+    TraceModel,
+    breakdown_from_spans,
+    diff_traces,
+    load_trace,
+    model_from_recorder,
+    recompute_projection,
+    render_diff,
+    run_critical_path,
+    stage_breakdown,
+    strip_critical_path,
+)
 from .export import (
     ascii_timeline,
+    rounds_to_trace_events,
     to_trace_events,
     validate_trace,
     validate_trace_file,
+    write_rounds_trace,
     write_trace,
 )
-from .flamegraph import StackSampler, collapse_stacks, profile_collapsed
+from .flamegraph import (
+    StackSampler,
+    collapse_stacks,
+    folded_lines,
+    profile_collapsed,
+)
 from .registry import MetricSample, MetricsRegistry
 from .spans import FlowEvent, Span, SpanRecorder, Track
 
@@ -46,10 +74,26 @@ __all__ = [
     "MetricsRegistry",
     "to_trace_events",
     "write_trace",
+    "rounds_to_trace_events",
+    "write_rounds_trace",
     "validate_trace",
     "validate_trace_file",
     "ascii_timeline",
     "StackSampler",
     "collapse_stacks",
+    "folded_lines",
     "profile_collapsed",
+    "TraceModel",
+    "model_from_recorder",
+    "load_trace",
+    "StageBreakdown",
+    "stage_breakdown",
+    "breakdown_from_spans",
+    "CriticalPath",
+    "strip_critical_path",
+    "run_critical_path",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+    "recompute_projection",
 ]

@@ -1,0 +1,973 @@
+"""Trace analysis: stage breakdowns, critical paths, and A/B span diffs.
+
+The span recorder (:mod:`repro.obs.spans`) captures *what happened*; this
+module answers *where the time went*.  It operates on a normalized
+:class:`TraceModel` built either from a live :class:`SpanRecorder`
+(float-exact) or from an exported Chrome trace-event JSON file
+(microsecond-rounded, but deterministic), and provides three analyses:
+
+* **Stage breakdowns** — every per-strip span tree folds into named stage
+  durations (server service, storage, switch, NIC wire, irq, softirq,
+  merge, migration/refetch), aggregated per client and per run.
+  :func:`breakdown_from_spans` additionally derives the lifecycle
+  tracer's five stage timestamps from the spans alone and feeds them
+  through the *same* aggregation code as ``metrics/trace.py`` — the
+  reconciliation test pins the two within float tolerance, so the span
+  instrumentation can never silently drift from the tracer again.
+* **Critical-path extraction** — :func:`strip_critical_path` walks span
+  parents and FlowEvent edges backward from a strip's last-finishing
+  span to produce the longest dependency chain (with per-step wait
+  time); :func:`run_critical_path` does the same for whatever strip
+  bounds the whole run.
+* **A/B trace diff** — :func:`diff_traces` aligns two runs of the same
+  point by stable ``(client, strip, stage)`` keys and reports per-stage
+  deltas, added/removed migration edges, and the top-N regressed spans.
+  Output (ASCII via :func:`render_diff`, JSON via
+  :meth:`TraceDiff.to_dict`) is deterministic: two invocations on the
+  same inputs are byte-identical.
+
+Shard-round observability rides along: :func:`recompute_projection`
+replays the coordinator's busy/critical-path accounting from recorded
+round spans (``--trace-rounds``), reproducing ``projected_wall_s``
+bit-for-bit — the bench's headline projection is auditable from the
+round timeline instead of being a single opaque scalar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as t
+
+from ..errors import ConfigError
+from ..metrics.trace import LatencyBreakdown, breakdown_from_records
+from .spans import SpanRecorder
+
+__all__ = [
+    "STAGE_NAMES",
+    "TraceSpan",
+    "TraceFlow",
+    "TraceModel",
+    "model_from_recorder",
+    "model_from_events",
+    "load_trace",
+    "StageStat",
+    "StageBreakdown",
+    "stage_breakdown",
+    "strip_stage_times",
+    "breakdown_from_spans",
+    "PathStep",
+    "CriticalPath",
+    "strip_critical_path",
+    "run_critical_path",
+    "StageDiff",
+    "SpanRegression",
+    "TraceDiff",
+    "diff_traces",
+    "render_diff",
+    "load_rounds",
+    "recompute_projection",
+]
+
+#: Span names that fold into named stage durations, in pipeline order.
+#: ``serve``/``storage`` live on the server, ``switch`` on the fabric,
+#: ``wire``/``irq``/``softirq``/``merge`` on the client, and
+#: ``migration``/``memory_fetch`` on the interconnect/memory bus.
+STAGE_NAMES = (
+    "serve",
+    "storage",
+    "switch",
+    "wire",
+    "irq",
+    "softirq",
+    "merge",
+    "migration",
+    "memory_fetch",
+)
+
+#: Trace-event microseconds -> model seconds.
+_US = 1e6
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSpan:
+    """One normalized span, whichever source it was loaded from."""
+
+    sid: int
+    parent: int | None
+    name: str
+    cat: str
+    pid: int
+    tid: int
+    start: float
+    end: float
+    args: t.Mapping[str, t.Any]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceFlow:
+    """One causal edge; span links survive the JSON round trip."""
+
+    fid: int
+    name: str
+    cat: str
+    src_ts: float
+    dst_ts: float | None
+    src_span: int | None = None
+    dst_span: int | None = None
+
+    @property
+    def closed(self) -> bool:
+        return self.dst_ts is not None
+
+
+class TraceModel:
+    """An indexed, immutable view over one run's spans and flows."""
+
+    def __init__(
+        self,
+        spans: t.Iterable[TraceSpan],
+        flows: t.Iterable[TraceFlow],
+        meta: t.Mapping[str, t.Any] | None = None,
+    ) -> None:
+        self.spans: tuple[TraceSpan, ...] = tuple(
+            sorted(spans, key=lambda s: s.sid)
+        )
+        self.flows: tuple[TraceFlow, ...] = tuple(
+            sorted(flows, key=lambda f: f.fid)
+        )
+        #: Run-level metadata (policy, experiment, point, scale) when the
+        #: producer recorded it; empty for bare recorders.
+        self.meta: dict[str, t.Any] = dict(meta or {})
+        self._by_sid: dict[int, TraceSpan] = {s.sid: s for s in self.spans}
+        # Strip attribution: walk parents to the nearest span named
+        # "strip"; its pid encodes the owning client (client_pid = 100+c)
+        # and its args carry the strip id.
+        self._strip_of: dict[int, tuple[int, int] | None] = {}
+        self.strips: dict[tuple[int, int], list[TraceSpan]] = {}
+        self.strip_roots: dict[tuple[int, int], TraceSpan] = {}
+        for span in self.spans:
+            key = self._resolve_strip(span)
+            if key is None:
+                continue
+            self.strips.setdefault(key, []).append(span)
+            if span.name == "strip":
+                self.strip_roots[key] = span
+
+    def _resolve_strip(self, span: TraceSpan) -> tuple[int, int] | None:
+        cached = self._strip_of.get(span.sid, _MISSING)
+        if cached is not _MISSING:
+            return cached  # type: ignore[return-value]
+        key: tuple[int, int] | None = None
+        if span.name == "strip":
+            strip_id = span.args.get("strip")
+            if isinstance(strip_id, int):
+                key = (span.pid - 100, strip_id)
+        elif span.parent is not None:
+            parent = self._by_sid.get(span.parent)
+            if parent is not None:
+                key = self._resolve_strip(parent)
+        self._strip_of[span.sid] = key
+        return key
+
+    def span(self, sid: int) -> TraceSpan | None:
+        return self._by_sid.get(sid)
+
+    def strip_of(self, sid: int) -> tuple[int, int] | None:
+        """The ``(client, strip)`` a span belongs to, or None."""
+        span = self._by_sid.get(sid)
+        return self._resolve_strip(span) if span is not None else None
+
+    @property
+    def label(self) -> str:
+        """Display label for diffs: the recorded policy, else a dash."""
+        return str(self.meta.get("policy") or "-")
+
+    def migration_edges(self) -> list[tuple[int, int] | None]:
+        """One entry per closed migration flow: its strip key (or None).
+
+        Source-aware runs return ``[]`` — the absence of migration edges
+        *is* the paper's mechanism, and the A/B diff reports it.
+        """
+        edges: list[tuple[int, int] | None] = []
+        for flow in self.flows:
+            if flow.name != "migration" or not flow.closed:
+                continue
+            key = (
+                self.strip_of(flow.src_span)
+                if flow.src_span is not None
+                else None
+            )
+            edges.append(key)
+        return edges
+
+
+class _Missing:
+    pass
+
+
+_MISSING = _Missing()
+
+
+def model_from_recorder(recorder: SpanRecorder) -> TraceModel:
+    """Normalize a live recorder (virtual-second floats, exact)."""
+    spans = [
+        TraceSpan(
+            sid=s.sid,
+            parent=s.parent,
+            name=s.name,
+            cat=s.cat,
+            pid=s.track.pid,
+            tid=s.track.tid,
+            start=s.start,
+            end=s.start if s.end is None else s.end,
+            args=dict(s.args or {}),
+        )
+        for s in recorder.spans
+    ]
+    flows = [
+        TraceFlow(
+            fid=f.fid,
+            name=f.name,
+            cat=f.cat,
+            src_ts=f.src_ts,
+            dst_ts=f.dst_ts,
+            src_span=f.src_span,
+            dst_span=f.dst_span,
+        )
+        for f in recorder.flows
+    ]
+    return TraceModel(spans, flows)
+
+
+def model_from_events(
+    events: t.Sequence[t.Mapping[str, t.Any]],
+    meta: t.Mapping[str, t.Any] | None = None,
+) -> TraceModel:
+    """Normalize exported trace events (microseconds back to seconds)."""
+    spans: list[TraceSpan] = []
+    open_async: dict[tuple[t.Any, t.Any], dict[str, t.Any]] = {}
+    open_flows: dict[t.Any, dict[str, t.Any]] = {}
+    flows: list[TraceFlow] = []
+    for event in events:
+        ph = event.get("ph")
+        if ph == "X":
+            args = dict(event.get("args") or {})
+            sid = args.pop("sid", None)
+            if not isinstance(sid, int):
+                continue  # foreign trace; only our own spans are modeled
+            start = float(event["ts"]) / _US
+            spans.append(
+                TraceSpan(
+                    sid=sid,
+                    parent=args.pop("parent", None),
+                    name=str(event.get("name")),
+                    cat=str(event.get("cat")),
+                    pid=int(event["pid"]),
+                    tid=int(event["tid"]),
+                    start=start,
+                    end=start + float(event.get("dur", 0.0)) / _US,
+                    args=args,
+                )
+            )
+        elif ph == "b":
+            open_async[(event.get("cat"), event.get("id"))] = dict(event)
+        elif ph == "e":
+            begun = open_async.pop(
+                (event.get("cat"), event.get("id")), None
+            )
+            if begun is None:
+                continue
+            args = dict(begun.get("args") or {})
+            sid = args.pop("sid", None)
+            if not isinstance(sid, int):
+                continue
+            spans.append(
+                TraceSpan(
+                    sid=sid,
+                    parent=args.pop("parent", None),
+                    name=str(begun.get("name")),
+                    cat=str(begun.get("cat")),
+                    pid=int(begun["pid"]),
+                    tid=int(begun["tid"]),
+                    start=float(begun["ts"]) / _US,
+                    end=float(event["ts"]) / _US,
+                    args=args,
+                )
+            )
+        elif ph == "s":
+            open_flows[event.get("id")] = dict(event)
+        elif ph == "f":
+            begun = open_flows.pop(event.get("id"), None)
+            if begun is None:
+                continue
+            src_args = begun.get("args") or {}
+            dst_args = event.get("args") or {}
+            flows.append(
+                TraceFlow(
+                    fid=int(begun["id"]),
+                    name=str(begun.get("name")),
+                    cat=str(begun.get("cat")),
+                    src_ts=float(begun["ts"]) / _US,
+                    dst_ts=float(event["ts"]) / _US,
+                    src_span=src_args.get("span"),
+                    dst_span=dst_args.get("span"),
+                )
+            )
+    return TraceModel(spans, flows, meta)
+
+
+def load_trace(path: str) -> TraceModel:
+    """Load an exported ``{"traceEvents": [...]}`` file as a model."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read trace {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ConfigError(
+            f"{path!r} is not a trace-event file (no 'traceEvents' array)"
+        )
+    meta = payload.get("sais")
+    return model_from_events(
+        payload["traceEvents"], meta if isinstance(meta, dict) else None
+    )
+
+
+# -- stage breakdowns --------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StageStat:
+    """One stage's durations aggregated over strips."""
+
+    stage: str
+    count: int
+    total: float
+    mean: float
+    p99: float
+
+
+@dataclasses.dataclass(frozen=True)
+class StageBreakdown:
+    """Per-stage durations for one run: aggregate plus per-client."""
+
+    policy: str
+    strips: int
+    per_stage: tuple[StageStat, ...]
+    per_client: tuple[tuple[int, tuple[StageStat, ...]], ...]
+
+    def stat(self, stage: str) -> StageStat | None:
+        for entry in self.per_stage:
+            if entry.stage == stage:
+                return entry
+        return None
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "policy": self.policy,
+            "strips": self.strips,
+            "per_stage": [dataclasses.asdict(s) for s in self.per_stage],
+            "per_client": [
+                {
+                    "client": client,
+                    "per_stage": [dataclasses.asdict(s) for s in stats],
+                }
+                for client, stats in self.per_client
+            ],
+        }
+
+
+def stage_durations(
+    model: TraceModel,
+) -> dict[tuple[int, int], dict[str, float]]:
+    """Fold every strip's span tree into summed per-stage durations.
+
+    Multi-segment stages (several wire/switch/softirq slices per strip)
+    sum; the zero-duration ``irq`` instants contribute 0.0 but mark the
+    stage present, so interrupt-free policies are distinguishable from
+    traces that merely lack APIC spans.
+    """
+    folded: dict[tuple[int, int], dict[str, float]] = {}
+    for key, spans in sorted(model.strips.items()):
+        stages: dict[str, float] = {}
+        for span in spans:
+            if span.name in STAGE_NAMES:
+                stages[span.name] = stages.get(span.name, 0.0) + span.duration
+        root = model.strip_roots.get(key)
+        if root is not None:
+            stages["total"] = root.duration
+        folded[key] = stages
+    return folded
+
+
+def _stats_over(
+    per_strip: t.Sequence[t.Mapping[str, float]],
+) -> tuple[StageStat, ...]:
+    stats = []
+    for stage in STAGE_NAMES + ("total",):
+        values = sorted(
+            record[stage] for record in per_strip if stage in record
+        )
+        if not values:
+            continue
+        stats.append(
+            StageStat(
+                stage=stage,
+                count=len(values),
+                total=sum(values),
+                mean=sum(values) / len(values),
+                p99=values[min(len(values) - 1, int(0.99 * len(values)))],
+            )
+        )
+    return tuple(stats)
+
+
+def stage_breakdown(model: TraceModel) -> StageBreakdown:
+    """Aggregate stage durations per client and over the whole run."""
+    folded = stage_durations(model)
+    by_client: dict[int, list[dict[str, float]]] = {}
+    for (client, _strip), stages in sorted(folded.items()):
+        by_client.setdefault(client, []).append(stages)
+    return StageBreakdown(
+        policy=model.label,
+        strips=len(folded),
+        per_stage=_stats_over(list(folded.values())),
+        per_client=tuple(
+            (client, _stats_over(records))
+            for client, records in sorted(by_client.items())
+        ),
+    )
+
+
+# -- reconciliation with the lifecycle tracer --------------------------------
+
+
+def strip_stage_times(
+    model: TraceModel,
+) -> dict[tuple[int, int], dict[str, float]]:
+    """Derive the lifecycle tracer's stage timestamps from spans alone.
+
+    The correspondence (asserted forever by the reconciliation test):
+
+    * ``issued``   = the strip span's start (the fan-out instant);
+    * ``served``   = the last ``storage`` span's end (storage access done,
+      transmit starting — the instant ``IoServer.serve`` stamps);
+    * ``received`` = the last ``wire`` span's end (packet fully off the
+      client NIC wire);
+    * ``handled``  = the ``handled_at`` argument the completing softirq
+      span carries (protocol work done, before any cross-core wake-up
+      IPI); interrupt-free stacks have no softirq spans and complete at
+      wire end, so ``received`` stands in;
+    * ``merged``   = the ``merge`` span's end (consumer copy done).
+
+    Strips missing stages (writes never merge; aborted strips never
+    arrive) keep partial records, exactly like the tracer's.
+    """
+    times: dict[tuple[int, int], dict[str, float]] = {}
+    for key, spans in sorted(model.strips.items()):
+        root = model.strip_roots.get(key)
+        if root is None:
+            continue
+        record: dict[str, float] = {"issued": root.start}
+        storage_ends = [s.end for s in spans if s.name == "storage"]
+        if storage_ends:
+            record["served"] = max(storage_ends)
+        wire_ends = [s.end for s in spans if s.name == "wire"]
+        if wire_ends:
+            record["received"] = max(wire_ends)
+        softirqs = [s for s in spans if s.name == "softirq"]
+        handled = [
+            s.args["handled_at"]
+            for s in softirqs
+            if isinstance(s.args.get("handled_at"), (int, float))
+        ]
+        if handled:
+            record["handled"] = max(handled)
+        elif not softirqs and wire_ends:
+            # Zero-interrupt placement completes synchronously at wire
+            # end (rdma_zerointr): handled == received by construction.
+            record["handled"] = record["received"]
+        merge_ends = [s.end for s in spans if s.name == "merge"]
+        if merge_ends:
+            record["merged"] = max(merge_ends)
+        times[key] = record
+    return times
+
+
+def breakdown_from_spans(model: TraceModel) -> LatencyBreakdown:
+    """The tracer-equivalent breakdown, computed purely from spans.
+
+    Shares the aggregation code with ``Tracer.breakdown`` (see
+    :func:`repro.metrics.trace.breakdown_from_records`), so comparing the
+    two isolates instrumentation drift from arithmetic differences.
+    """
+    return breakdown_from_records(strip_stage_times(model).values())
+
+
+# -- critical-path extraction ------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class PathStep:
+    """One span on a critical path, plus the wait behind its predecessor."""
+
+    name: str
+    sid: int
+    start: float
+    end: float
+    wait: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass(frozen=True)
+class CriticalPath:
+    """The longest dependency chain bounding one strip (or the run)."""
+
+    client: int
+    strip: int
+    steps: tuple[PathStep, ...]
+
+    @property
+    def elapsed(self) -> float:
+        """First start to last end — what the chain pins end-to-end."""
+        if not self.steps:
+            return 0.0
+        return self.steps[-1].end - self.steps[0].start
+
+    @property
+    def busy(self) -> float:
+        return sum(step.duration for step in self.steps)
+
+    @property
+    def wait(self) -> float:
+        return sum(step.wait for step in self.steps)
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "client": self.client,
+            "strip": self.strip,
+            "elapsed_s": self.elapsed,
+            "busy_s": self.busy,
+            "wait_s": self.wait,
+            "steps": [dataclasses.asdict(step) for step in self.steps],
+        }
+
+
+def strip_critical_path(
+    model: TraceModel, client: int, strip: int
+) -> CriticalPath:
+    """Walk parents + flow edges backward from the strip's last span.
+
+    At each step the predecessor is the flow edge landing in the current
+    span when one exists (IRQ placement, migration — true causal links),
+    otherwise the latest-ending sibling that finished before the current
+    span started (pipeline order).  Ties break on span id, so the walk
+    is deterministic.
+    """
+    key = (client, strip)
+    spans = model.strips.get(key)
+    if not spans:
+        raise ConfigError(
+            f"no spans recorded for client {client} strip {strip}"
+        )
+    candidates = [s for s in spans if s.name != "strip"]
+    if not candidates:
+        raise ConfigError(
+            f"strip {strip} of client {client} has no lifecycle spans"
+        )
+    flows_into: dict[int, list[TraceFlow]] = {}
+    for flow in model.flows:
+        if flow.closed and flow.dst_span is not None:
+            flows_into.setdefault(flow.dst_span, []).append(flow)
+    in_strip = {s.sid for s in candidates}
+
+    current = max(candidates, key=lambda s: (s.end, s.sid))
+    chain = [current]
+    seen = {current.sid}
+    while True:
+        pred: TraceSpan | None = None
+        for flow in flows_into.get(current.sid, ()):
+            src = model.span(flow.src_span) if flow.src_span else None
+            if src is not None and src.sid not in seen:
+                if pred is None or (src.end, src.sid) > (pred.end, pred.sid):
+                    pred = src
+        if pred is None:
+            eps = 1e-12
+            for span in candidates:
+                if span.sid in seen or span.sid not in in_strip:
+                    continue
+                if span.end <= current.start + eps:
+                    if pred is None or (span.end, span.sid) > (
+                        pred.end,
+                        pred.sid,
+                    ):
+                        pred = span
+        if pred is None:
+            break
+        chain.append(pred)
+        seen.add(pred.sid)
+        current = pred
+
+    chain.reverse()
+    steps: list[PathStep] = []
+    previous_end: float | None = None
+    root = model.strip_roots.get(key)
+    if root is not None:
+        previous_end = root.start
+    for span in chain:
+        wait = (
+            max(0.0, span.start - previous_end)
+            if previous_end is not None
+            else 0.0
+        )
+        steps.append(
+            PathStep(
+                name=span.name,
+                sid=span.sid,
+                start=span.start,
+                end=span.end,
+                wait=wait,
+            )
+        )
+        previous_end = max(
+            span.end, previous_end if previous_end is not None else span.end
+        )
+    return CriticalPath(client=client, strip=strip, steps=tuple(steps))
+
+
+def run_critical_path(model: TraceModel) -> CriticalPath:
+    """The chain of whatever strip finishes last — what bounds the run."""
+    if not model.strips:
+        raise ConfigError("trace contains no strip spans to analyze")
+    last_key = max(
+        model.strips,
+        key=lambda key: (
+            max(s.end for s in model.strips[key]),
+            -key[0],
+            -key[1],
+        ),
+    )
+    return strip_critical_path(model, *last_key)
+
+
+# -- A/B trace diff ----------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class StageDiff:
+    """One stage's total duration across the aligned strips of two runs."""
+
+    stage: str
+    a_total: float
+    b_total: float
+    count: int
+
+    @property
+    def delta(self) -> float:
+        return self.b_total - self.a_total
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanRegression:
+    """One aligned (client, strip, stage) whose duration moved."""
+
+    client: int
+    strip: int
+    stage: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceDiff:
+    """Everything ``sais-repro trace diff`` reports."""
+
+    a_label: str
+    b_label: str
+    strips_a: int
+    strips_b: int
+    aligned: int
+    only_a: int
+    only_b: int
+    stages: tuple[StageDiff, ...]
+    migration_edges_a: int
+    migration_edges_b: int
+    added_edges: tuple[tuple[int, int], ...]
+    removed_edges: tuple[tuple[int, int], ...]
+    regressed: tuple[SpanRegression, ...]
+    mean_total_a: float
+    mean_total_b: float
+
+    def to_dict(self) -> dict[str, t.Any]:
+        return {
+            "a_label": self.a_label,
+            "b_label": self.b_label,
+            "strips": {
+                "a": self.strips_a,
+                "b": self.strips_b,
+                "aligned": self.aligned,
+                "only_a": self.only_a,
+                "only_b": self.only_b,
+            },
+            "stages": [
+                {
+                    "stage": row.stage,
+                    "a_total_s": row.a_total,
+                    "b_total_s": row.b_total,
+                    "delta_s": row.delta,
+                    "count": row.count,
+                }
+                for row in self.stages
+            ],
+            "migration_edges": {
+                "a": self.migration_edges_a,
+                "b": self.migration_edges_b,
+                "added": [list(edge) for edge in self.added_edges],
+                "removed": [list(edge) for edge in self.removed_edges],
+            },
+            "regressed": [
+                {
+                    "client": row.client,
+                    "strip": row.strip,
+                    "stage": row.stage,
+                    "a_s": row.a,
+                    "b_s": row.b,
+                    "delta_s": row.delta,
+                }
+                for row in self.regressed
+            ],
+            "mean_total": {
+                "a_s": self.mean_total_a,
+                "b_s": self.mean_total_b,
+                "delta_s": self.mean_total_b - self.mean_total_a,
+            },
+        }
+
+
+def _edge_counts(
+    edges: t.Sequence[tuple[int, int] | None],
+) -> dict[tuple[int, int], int]:
+    counts: dict[tuple[int, int], int] = {}
+    for key in edges:
+        if key is not None:
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def diff_traces(
+    a: TraceModel, b: TraceModel, top: int = 10
+) -> TraceDiff:
+    """Align two runs of the same point and attribute their latency gap.
+
+    Spans align on stable ``(client, strip, stage)`` keys — strip ids
+    are deterministic functions of the workload, so two runs of one grid
+    point under different policies align perfectly; strips present in
+    only one trace are counted but never silently dropped into the
+    stage totals (which cover aligned strips only, apples to apples).
+    """
+    folded_a = stage_durations(a)
+    folded_b = stage_durations(b)
+    aligned_keys = sorted(set(folded_a) & set(folded_b))
+
+    stages: list[StageDiff] = []
+    for stage in STAGE_NAMES:
+        a_total = b_total = 0.0
+        count = 0
+        for key in aligned_keys:
+            in_a = stage in folded_a[key]
+            in_b = stage in folded_b[key]
+            if not in_a and not in_b:
+                continue
+            count += 1
+            a_total += folded_a[key].get(stage, 0.0)
+            b_total += folded_b[key].get(stage, 0.0)
+        if count:
+            stages.append(
+                StageDiff(
+                    stage=stage, a_total=a_total, b_total=b_total, count=count
+                )
+            )
+
+    regressions = [
+        SpanRegression(
+            client=key[0],
+            strip=key[1],
+            stage=stage,
+            a=folded_a[key].get(stage, 0.0),
+            b=folded_b[key].get(stage, 0.0),
+        )
+        for key in aligned_keys
+        for stage in STAGE_NAMES
+        if stage in folded_a[key] or stage in folded_b[key]
+    ]
+    regressions = [row for row in regressions if row.delta != 0.0]
+    regressions.sort(
+        key=lambda row: (-row.delta, row.client, row.strip, row.stage)
+    )
+
+    edges_a = a.migration_edges()
+    edges_b = b.migration_edges()
+    counts_a = _edge_counts(edges_a)
+    counts_b = _edge_counts(edges_b)
+
+    totals_a = [r["total"] for r in folded_a.values() if "total" in r]
+    totals_b = [r["total"] for r in folded_b.values() if "total" in r]
+    return TraceDiff(
+        a_label=a.label,
+        b_label=b.label,
+        strips_a=len(folded_a),
+        strips_b=len(folded_b),
+        aligned=len(aligned_keys),
+        only_a=len(folded_a) - len(aligned_keys),
+        only_b=len(folded_b) - len(aligned_keys),
+        stages=tuple(stages),
+        migration_edges_a=len(edges_a),
+        migration_edges_b=len(edges_b),
+        added_edges=tuple(sorted(set(counts_b) - set(counts_a))),
+        removed_edges=tuple(sorted(set(counts_a) - set(counts_b))),
+        regressed=tuple(regressions[: max(0, top)]),
+        mean_total_a=sum(totals_a) / len(totals_a) if totals_a else 0.0,
+        mean_total_b=sum(totals_b) / len(totals_b) if totals_b else 0.0,
+    )
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:.3f}us"
+
+
+def render_diff(diff: TraceDiff) -> str:
+    """Deterministic ASCII report of one A/B diff."""
+    lines = [
+        f"trace diff: A={diff.a_label} ({diff.strips_a} strips) vs "
+        f"B={diff.b_label} ({diff.strips_b} strips), "
+        f"{diff.aligned} aligned"
+        + (
+            f" ({diff.only_a} only in A, {diff.only_b} only in B)"
+            if diff.only_a or diff.only_b
+            else ""
+        ),
+        f"mean strip total: {_us(diff.mean_total_a)} -> "
+        f"{_us(diff.mean_total_b)} "
+        f"({_us(diff.mean_total_b - diff.mean_total_a)})",
+        f"{'stage':<14}{'A total':>14}{'B total':>14}{'delta (B-A)':>16}"
+        f"{'strips':>8}",
+    ]
+    for row in diff.stages:
+        lines.append(
+            f"{row.stage:<14}{_us(row.a_total):>14}{_us(row.b_total):>14}"
+            f"{_us(row.delta):>16}{row.count:>8}"
+        )
+    lines.append(
+        f"migration edges: A={diff.migration_edges_a} "
+        f"B={diff.migration_edges_b} "
+        f"(added {len(diff.added_edges)}, removed {len(diff.removed_edges)})"
+    )
+    if diff.regressed:
+        lines.append(f"top {len(diff.regressed)} moved spans (B - A):")
+        for row in diff.regressed:
+            lines.append(
+                f"  client {row.client} strip {row.strip} "
+                f"{row.stage:<12} {_us(row.a)} -> {_us(row.b)} "
+                f"({'+' if row.delta >= 0 else ''}{_us(row.delta)})"
+            )
+    else:
+        lines.append("no aligned span moved")
+    return "\n".join(lines)
+
+
+# -- shard-round accounting --------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _LoadedWindow:
+    sid: int
+    busy_s: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _LoadedRound:
+    index: int
+    windows: tuple[_LoadedWindow, ...]
+
+
+def load_rounds(path: str) -> tuple[tuple[_LoadedRound, ...], int]:
+    """Load a ``--trace-rounds`` file back into replayable round records.
+
+    Returns ``(records, n_shards)`` ready for
+    :func:`recompute_projection`.  JSON round-trips Python floats
+    exactly (shortest-repr encode, exact decode), so the recompute from
+    a loaded file still matches the live outcome bit-for-bit.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ConfigError(f"cannot read rounds trace {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise ConfigError(
+            f"{path!r} is not a trace-event file (no 'traceEvents' array)"
+        )
+    n_shards = 0
+    by_round: dict[int, list[_LoadedWindow]] = {}
+    for event in payload["traceEvents"]:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        if "shard" in args:
+            n_shards = max(n_shards, int(args["shard"]) + 1)
+            by_round.setdefault(int(args["round"]), []).append(
+                _LoadedWindow(
+                    sid=int(args["shard"]), busy_s=float(args["busy_s"])
+                )
+            )
+        elif "round" in args:
+            by_round.setdefault(int(args["round"]), [])
+    records = tuple(
+        _LoadedRound(
+            index=index,
+            windows=tuple(sorted(windows, key=lambda w: w.sid)),
+        )
+        for index, windows in sorted(by_round.items())
+    )
+    return records, n_shards
+
+
+def recompute_projection(
+    round_log: t.Sequence[t.Any], n_shards: int, wall: float
+) -> tuple[float, float, float]:
+    """Replay the coordinator's projection arithmetic from round spans.
+
+    Returns ``(busy_total, critical_path, projected_wall)``.  The loop
+    mirrors :func:`repro.shard.coordinator.run_plan` operation for
+    operation — same accumulation order, same comparisons — so on the
+    log of an actual run the result equals ``ShardOutcome.busy_s`` /
+    ``critical_path_s`` and the bench's ``projected_wall_s`` *exactly*
+    (float equality, pinned in tests), not merely approximately.
+    """
+    busy_totals = [0.0] * n_shards
+    critical = 0.0
+    for record in round_log:
+        round_max = 0.0
+        for window in record.windows:
+            busy_totals[window.sid] += window.busy_s
+            if window.busy_s > round_max:
+                round_max = window.busy_s
+        critical += round_max
+    busy = sum(busy_totals)
+    return busy, critical, max(0.0, wall - busy + critical)

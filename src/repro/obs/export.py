@@ -28,6 +28,8 @@ from .spans import Span, SpanRecorder, Track
 __all__ = [
     "to_trace_events",
     "write_trace",
+    "rounds_to_trace_events",
+    "write_rounds_trace",
     "validate_trace",
     "validate_trace_file",
     "ascii_timeline",
@@ -122,6 +124,11 @@ def to_trace_events(recorder: SpanRecorder) -> list[dict[str, t.Any]]:
                 "ts": flow.src_ts * _US,
                 "pid": flow.src_track.pid,
                 "tid": flow.src_track.tid,
+                # Endpoint span ids survive the JSON round trip so the
+                # analysis loader (repro.obs.analysis) can rebuild the
+                # causal graph from an exported file, not just a live
+                # recorder.  Perfetto ignores unknown args.
+                "args": {"span": flow.src_span},
             }
         )
         events.append(
@@ -134,15 +141,141 @@ def to_trace_events(recorder: SpanRecorder) -> list[dict[str, t.Any]]:
                 "ts": flow.dst_ts * _US,
                 "pid": flow.dst_track.pid,
                 "tid": flow.dst_track.tid,
+                "args": {"span": flow.dst_span},
             }
         )
     return events
 
 
-def write_trace(recorder: SpanRecorder, path: str) -> int:
-    """Write ``{"traceEvents": [...]}`` JSON to ``path``; returns #events."""
+def write_trace(
+    recorder: SpanRecorder,
+    path: str,
+    meta: t.Mapping[str, t.Any] | None = None,
+) -> int:
+    """Write ``{"traceEvents": [...]}`` JSON to ``path``; returns #events.
+
+    ``meta`` (policy, experiment, point, scale ...) lands under a
+    top-level ``"sais"`` key — outside ``traceEvents``, so Perfetto and
+    catapult ignore it, while ``trace diff`` uses it to label runs.
+    """
     events = to_trace_events(recorder)
-    payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+    payload: dict[str, t.Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["sais"] = dict(meta)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(events)
+
+
+# -- shard-round export ------------------------------------------------------
+
+
+def rounds_to_trace_events(
+    round_log: t.Sequence[t.Any], n_shards: int
+) -> list[dict[str, t.Any]]:
+    """Render coordinator round records as per-shard Perfetto tracks.
+
+    One process (``COORD_PID``): tid 0 is the coordinator lane — one
+    ``X`` slice per round spanning ``[prev_bound, bound)`` in virtual
+    time, carrying the LBTS bound, window width, round steal/skip
+    counts; tid ``sid + 1`` is shard ``sid``'s lane — its window slice
+    per round with busy vs stall seconds (stall = the slowest shard's
+    busy minus its own: what it waits at the barrier) and events
+    executed.  A shard with no slice in a round sat it out entirely
+    (skipped window — nothing below the bound).
+    """
+    from .spans import COORD_PID
+
+    events: list[dict[str, t.Any]] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": COORD_PID,
+            "tid": 0,
+            "args": {"name": "shard coordinator"},
+        },
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": COORD_PID,
+            "tid": 0,
+            "args": {"name": "rounds"},
+        },
+    ]
+    for sid in range(n_shards):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": COORD_PID,
+                "tid": sid + 1,
+                "args": {"name": f"shard {sid}"},
+            }
+        )
+    for record in round_log:
+        start = record.prev_bound * _US
+        dur = max(0.0, record.bound - record.prev_bound) * _US
+        events.append(
+            {
+                "ph": "X",
+                "name": f"round {record.index}",
+                "cat": "coord",
+                "ts": start,
+                "dur": dur,
+                "pid": COORD_PID,
+                "tid": 0,
+                "args": {
+                    "round": record.index,
+                    "lbts": record.lbts,
+                    "bound": record.bound,
+                    "width_s": record.bound - record.prev_bound,
+                    "round_max_busy_s": record.round_max,
+                    "steals": record.steals,
+                    "windows_skipped": record.skipped,
+                },
+            }
+        )
+        for window in record.windows:
+            stall = max(0.0, record.round_max - window.busy_s)
+            events.append(
+                {
+                    "ph": "X",
+                    "name": f"window {record.index}",
+                    "cat": "shard",
+                    "ts": start,
+                    "dur": dur,
+                    "pid": COORD_PID,
+                    "tid": window.sid + 1,
+                    "args": {
+                        "round": record.index,
+                        "shard": window.sid,
+                        "busy_s": window.busy_s,
+                        "stall_s": stall,
+                        "events": window.events,
+                    },
+                }
+            )
+    return events
+
+
+def write_rounds_trace(
+    round_log: t.Sequence[t.Any],
+    n_shards: int,
+    path: str,
+    meta: t.Mapping[str, t.Any] | None = None,
+) -> int:
+    """Write the round timeline as a trace-event file; returns #events."""
+    events = rounds_to_trace_events(round_log, n_shards)
+    payload: dict[str, t.Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if meta:
+        payload["sais"] = dict(meta)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")

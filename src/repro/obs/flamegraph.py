@@ -20,7 +20,12 @@ import threading
 import time
 import typing as t
 
-__all__ = ["StackSampler", "collapse_stacks", "profile_collapsed"]
+__all__ = [
+    "StackSampler",
+    "collapse_stacks",
+    "folded_lines",
+    "profile_collapsed",
+]
 
 
 def _frames_to_stack(frame: t.Any, strip_prefix: str = "") -> tuple[str, ...]:
@@ -94,6 +99,20 @@ def collapse_stacks(
     return folded
 
 
+def folded_lines(folded: dict[str, int]) -> list[str]:
+    """Format a collapsed mapping as ``.folded`` lines.
+
+    Sorted by descending count then stack text, so the output depends
+    only on the sample multiset — never on insertion order.
+    """
+    return [
+        f"{stack} {count}"
+        for stack, count in sorted(
+            folded.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+    ]
+
+
 def profile_collapsed(
     fn: t.Callable[[], t.Any],
     interval: float = 0.002,
@@ -101,17 +120,10 @@ def profile_collapsed(
 ) -> tuple[t.Any, list[str]]:
     """Run ``fn`` under the sampler; return (result, folded-stack lines).
 
-    Lines are sorted by descending count then stack text, ready to write
-    to a ``.folded`` file for ``flamegraph.pl`` / speedscope.
+    Lines are ready to write to a ``.folded`` file for ``flamegraph.pl``
+    or speedscope.
     """
     sampler = StackSampler(interval=interval, strip_prefix=strip_prefix)
     with sampler:
         result = fn()
-    folded = collapse_stacks(sampler.samples)
-    lines = [
-        f"{stack} {count}"
-        for stack, count in sorted(
-            folded.items(), key=lambda kv: (-kv[1], kv[0])
-        )
-    ]
-    return result, lines
+    return result, folded_lines(collapse_stacks(sampler.samples))

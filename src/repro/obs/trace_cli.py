@@ -17,6 +17,8 @@ look at.  Pass ``--policy source_aware`` to see the quiet interconnect.
 
 from __future__ import annotations
 
+import json
+import os
 import typing as t
 
 from ..config import ClusterConfig
@@ -24,7 +26,26 @@ from ..errors import ConfigError
 from .export import ascii_timeline, validate_trace_file, write_trace
 from .spans import SpanRecorder
 
-__all__ = ["resolve_experiment", "trace_point_config", "run_trace"]
+__all__ = [
+    "resolve_experiment",
+    "trace_point_config",
+    "run_trace",
+    "run_trace_diff",
+]
+
+
+def _ensure_parent(out: str) -> None:
+    """Reject an output path whose parent directory does not exist.
+
+    ``open(out, "w")`` would raise a raw ``FileNotFoundError`` traceback;
+    a typo'd directory deserves the same uniform exit-2 ConfigError every
+    other bad argument gets.
+    """
+    parent = os.path.dirname(out)
+    if parent and not os.path.isdir(parent):
+        raise ConfigError(
+            f"--out {out!r}: parent directory {parent!r} does not exist"
+        )
 
 
 def resolve_experiment(name: str) -> str:
@@ -110,6 +131,8 @@ def run_trace(
     config, n_points = trace_point_config(exp_id, scale, point)
     if policy:
         config = config.with_policy(policy)
+    if out is not None:
+        _ensure_parent(out)
 
     recorder = SpanRecorder()
     sim = Simulation(config, spans=recorder)
@@ -124,7 +147,16 @@ def run_trace(
     )
 
     if out is not None:
-        n_events = write_trace(recorder, out)
+        n_events = write_trace(
+            recorder,
+            out,
+            meta={
+                "experiment": exp_id,
+                "point": point,
+                "scale": scale,
+                "policy": config.policy,
+            },
+        )
         problems = validate_trace_file(out)
         if problems:
             for problem in problems[:10]:
@@ -136,4 +168,31 @@ def run_trace(
         )
     if timeline or out is None:
         echo(ascii_timeline(recorder))
+    return 0
+
+
+def run_trace_diff(
+    a_path: str,
+    b_path: str,
+    out: str | None = None,
+    top: int = 10,
+    echo: t.Callable[[str], None] = print,
+) -> int:
+    """``sais-repro trace diff A.json B.json``: align and attribute.
+
+    Prints the deterministic ASCII report; ``out`` additionally writes
+    the structured diff as JSON (sorted keys, stable order — two
+    invocations on the same inputs are byte-identical).
+    """
+    from .analysis import diff_traces, load_trace, render_diff
+
+    if out is not None:
+        _ensure_parent(out)
+    diff = diff_traces(load_trace(a_path), load_trace(b_path), top=top)
+    echo(render_diff(diff))
+    if out is not None:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(diff.to_dict(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        echo(f"trace diff: wrote {out}")
     return 0

@@ -27,16 +27,18 @@ from __future__ import annotations
 
 import typing as t
 
-from .coordinator import ShardOutcome, run_plan
+from .coordinator import RoundRecord, ShardOutcome, ShardWindow, run_plan
 from .fabric import FabricRelay
 from .lookahead import LookaheadBounds
 from .plan import (
     NO_SHARDS_ENV,
+    ROUNDS_ENV,
     SERVER_SHARDS_ENV,
     SHARDS_ENV,
     TRANSPORT_ENV,
     ShardPlan,
     plan_shards,
+    rounds_trace_requested,
     server_shards_requested,
     shard_block_reason,
     shards_requested,
@@ -52,6 +54,8 @@ if t.TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "ShardPlan",
     "ShardOutcome",
+    "ShardWindow",
+    "RoundRecord",
     "FabricRelay",
     "LookaheadBounds",
     "WindowExecutor",
@@ -60,6 +64,7 @@ __all__ = [
     "shards_requested",
     "server_shards_requested",
     "transport_requested",
+    "rounds_trace_requested",
     "workers_requested",
     "run_sharded",
     "build_runtime",
@@ -71,6 +76,7 @@ __all__ = [
     "SERVER_SHARDS_ENV",
     "NO_SHARDS_ENV",
     "TRANSPORT_ENV",
+    "ROUNDS_ENV",
 ]
 
 
@@ -97,8 +103,34 @@ def run_sharded(
     handles, peeks = start_shards(
         config, plan, transport or transport_requested()
     )
+    rounds_path = rounds_trace_requested()
     try:
-        return run_plan(config, plan, handles, peeks)
+        outcome = run_plan(
+            config,
+            plan,
+            handles,
+            peeks,
+            capture_rounds=rounds_path is not None,
+        )
     finally:
         for handle in handles:
             handle.close()
+    if rounds_path is not None:
+        # Lazy import: obs depends on nothing in shard, but keeping the
+        # exporter out of the hot path mirrors the zero-cost discipline.
+        from ..obs.export import write_rounds_trace
+
+        write_rounds_trace(
+            outcome.round_log,
+            plan.n_shards,
+            rounds_path,
+            meta={
+                "policy": config.policy,
+                "shards": plan.n_shards,
+                "server_shards": plan.n_server_shards,
+                "rounds": outcome.rounds,
+                "elapsed_s": outcome.elapsed,
+                "critical_path_s": outcome.critical_path_s,
+            },
+        )
+    return outcome

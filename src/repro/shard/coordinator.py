@@ -51,13 +51,53 @@ from .lookahead import LookaheadBounds
 from .plan import ShardPlan
 from .runtime import INF
 
-__all__ = ["ShardOutcome", "run_plan"]
+__all__ = ["ShardWindow", "RoundRecord", "ShardOutcome", "run_plan"]
 
 #: Test hook: when set to a list, every wire record is appended in the
 #: exact order the coordinator replays it through the fabric recurrence.
 #: The equivalence tests diff this sequence against an instrumented
 #: single-calendar run to localize any tie-ordering divergence.
 _RELAY_LOG: list | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardWindow:
+    """One shard's window inside one round (``--trace-rounds``)."""
+
+    sid: int
+    #: Wall seconds this shard spent computing the window.
+    busy_s: float
+    #: Calendar events the window dispatched.
+    events: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundRecord:
+    """One conservative round, as the coordinator drove it.
+
+    ``windows`` holds the participating shards in ascending shard-id
+    order — the exact order the coordinator folds their busy times into
+    ``busy_s`` and ``critical_path_s`` — so replaying the records
+    (:func:`repro.obs.analysis.recompute_projection`) reproduces the
+    outcome's floats operation for operation, not just approximately.
+    """
+
+    index: int
+    #: Previous round's LBTS bound (0.0 for the first round): together
+    #: with ``bound`` this is the round's extent in virtual time.
+    prev_bound: float
+    #: This round's window bound (LBTS + lookahead).
+    bound: float
+    #: The raw lower bound on timestamp the bound was derived from.
+    lbts: float
+    #: Slowest participating shard's busy seconds — the round's
+    #: contribution to the critical path.
+    round_max: float
+    #: Windows executed away from their home worker this round.
+    steals: int
+    #: Shard windows skipped this round (no work below the bound).
+    skipped: int
+    windows: tuple[ShardWindow, ...]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +128,10 @@ class ShardOutcome:
     steals: int = 0
     #: Shard windows skipped because they had no work below the bound.
     windows_skipped: int = 0
+    #: Per-round records when capture was requested (``--trace-rounds``);
+    #: empty otherwise — keeping them is O(rounds × shards) and off by
+    #: default for the same zero-cost discipline as span tracing.
+    round_log: tuple[RoundRecord, ...] = ()
 
 
 def run_plan(
@@ -95,8 +139,15 @@ def run_plan(
     plan: ShardPlan,
     handles: t.Sequence[t.Any],
     peeks: t.Sequence[float],
+    capture_rounds: bool = False,
 ) -> ShardOutcome:
-    """Drive one sharded run over started shard ``handles`` to completion."""
+    """Drive one sharded run over started shard ``handles`` to completion.
+
+    ``capture_rounds`` keeps a :class:`RoundRecord` per round on the
+    outcome (the ``--trace-rounds`` timeline); it observes the existing
+    accounting without adding any coordination, so results are identical
+    either way.
+    """
     lookahead = plan.lookahead
     bounds = LookaheadBounds(config, plan)
     fabric = FabricRelay(config.network.switch_bandwidth)
@@ -122,6 +173,8 @@ def run_plan(
     windows_skipped = 0
     busy_totals = [0.0] * n_shards
     critical_path = 0.0
+    round_log: list[RoundRecord] = []
+    prev_bound = 0.0
 
     while len(done) < n_client_shards:
         lbts, bound = bounds.round_bound(peeks, pending)
@@ -132,6 +185,8 @@ def run_plan(
                 "workload has not completed"
             )
         rounds += 1
+        skipped_before = windows_skipped
+        steals_before = steals
         # Ready windows: a shard participates when it holds deliveries
         # (which may carry side effects even past a client's AllOf) or
         # calendar work below the bound.  Everyone else sits the round
@@ -158,11 +213,16 @@ def run_plan(
             steals += handle_steals
         wire_inputs: list[tuple] = []
         round_max = 0.0
+        windows: list[ShardWindow] = []
         for sid in sorted(replies):
-            outbox, peek, done_at, stamps, busy = replies[sid]
+            outbox, peek, done_at, stamps, busy, events = replies[sid]
             busy_totals[sid] += busy
             if busy > round_max:
                 round_max = busy
+            if capture_rounds:
+                windows.append(
+                    ShardWindow(sid=sid, busy_s=busy, events=events)
+                )
             peeks[sid] = peek
             if done_at is not None and sid not in done:
                 done[sid] = done_at
@@ -199,6 +259,20 @@ def run_plan(
                     ("serve_write", departure, start, payload)
                 )
         critical_path += round_max
+        if capture_rounds:
+            round_log.append(
+                RoundRecord(
+                    index=rounds,
+                    prev_bound=prev_bound,
+                    bound=bound,
+                    lbts=lbts,
+                    round_max=round_max,
+                    steals=steals - steals_before,
+                    skipped=windows_skipped - skipped_before,
+                    windows=tuple(windows),
+                )
+            )
+        prev_bound = bound
 
     t_end = max(done.values())
     if t_end <= 0:
@@ -241,4 +315,5 @@ def run_plan(
         server_shards=plan.n_server_shards,
         steals=steals,
         windows_skipped=windows_skipped,
+        round_log=tuple(round_log),
     )

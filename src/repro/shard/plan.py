@@ -31,6 +31,7 @@ __all__ = [
     "shards_requested",
     "server_shards_requested",
     "transport_requested",
+    "rounds_trace_requested",
 ]
 
 #: Ambient request for sharded runs, set by ``--shards N`` and inherited
@@ -43,6 +44,12 @@ SHARDS_ENV = "REPRO_SHARDS"
 SERVER_SHARDS_ENV = "REPRO_SERVER_SHARDS"
 #: Escape hatch: force single-calendar runs even when REPRO_SHARDS is set.
 NO_SHARDS_ENV = "REPRO_NO_SHARDS"
+#: Round-span capture: a file path set by ``--trace-rounds FILE``.  When
+#: set, sharded runs keep per-round records (LBTS bound, per-shard busy
+#: vs stall, steals) and export them as a Perfetto round timeline.  An
+#: env var rather than a parameter so it composes with ``--jobs`` worker
+#: processes the same way ``--shards`` does.
+ROUNDS_ENV = "REPRO_TRACE_ROUNDS"
 #: Transport override: ``mp`` (multiprocessing workers) or ``inproc``
 #: (coordinator drives every shard in-process; used by tests and as the
 #: automatic fallback wherever workers cannot be spawned).  Unset, the
@@ -216,6 +223,11 @@ def server_shards_requested() -> int | None:
     """The ambient ``REPRO_SERVER_SHARDS`` request; None means auto-split."""
     n = _int_env(SERVER_SHARDS_ENV, 1)
     return n if n else None
+
+
+def rounds_trace_requested() -> str | None:
+    """The ambient ``--trace-rounds`` output path; None when unset."""
+    return os.environ.get(ROUNDS_ENV) or None
 
 
 def transport_requested() -> str:

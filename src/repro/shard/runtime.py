@@ -52,16 +52,19 @@ __all__ = [
 INF = float("inf")
 
 #: (outbox, next local event time, done-at or None, overrun stamps or None,
-#: wall seconds this shard spent computing the window).  The busy time
-#: feeds the coordinator's critical-path accounting: on a single-core
-#: host the bench can still report what a truly parallel execution of
-#: the same windows would have cost.
+#: wall seconds this shard spent computing the window, events dispatched
+#: in this window).  The busy time feeds the coordinator's critical-path
+#: accounting: on a single-core host the bench can still report what a
+#: truly parallel execution of the same windows would have cost.  The
+#: per-window event count feeds the ``--trace-rounds`` round timeline
+#: (which shard did the work each round, not just how long it took).
 AdvanceReply = t.Tuple[
     t.List[tuple],
     float,
     t.Optional[float],
     t.Optional[t.List[float]],
     float,
+    int,
 ]
 
 
@@ -143,6 +146,7 @@ class ClientShardRuntime:
     def advance(self, bound: float, deliveries: t.Sequence[tuple]) -> AdvanceReply:
         started = time.perf_counter()
         env = self.env
+        events_before = env.events_processed
         for _kind, _gen, arrival, packet in deliveries:
             # The tail of WireFastPath.transmit_to_client, replayed at the
             # barrier: admit may run early because fabric departures (and
@@ -161,7 +165,8 @@ class ClientShardRuntime:
         self.port.outbox = []
         peek = INF if self._done_at is not None else env.peek()
         busy = time.perf_counter() - started
-        return outbox, peek, self._done_at, None, busy
+        events = env.events_processed - events_before
+        return outbox, peek, self._done_at, None, busy, events
 
     def finalize(self, t_end: float) -> tuple:
         env = self.env
@@ -224,6 +229,7 @@ class ServerShardRuntime:
     def advance(self, bound: float, deliveries: t.Sequence[tuple]) -> AdvanceReply:
         started = time.perf_counter()
         env = self.env
+        events_before = env.events_processed
         for item in deliveries:
             kind, gen, when, request = item
             server = self._servers[request.server]
@@ -247,7 +253,8 @@ class ServerShardRuntime:
         self.port.outbox = []
         stamps = list(stamp) if stamp is not None else None
         busy = time.perf_counter() - started
-        return outbox, env.peek(), None, stamps, busy
+        events = env.events_processed - events_before
+        return outbox, env.peek(), None, stamps, busy, events
 
     def finalize(self, t_end: float) -> tuple:
         env = self.env

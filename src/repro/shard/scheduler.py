@@ -23,7 +23,9 @@ independent (that is what the conservative bound guarantees), and the
 coordinator merges replies by shard id — so execution order, worker
 count, and steal decisions are all invisible to the simulation bytes.
 The ``steals`` counter is surfaced through ``ShardOutcome`` so the bench
-payload records how often the scheduler rebalanced.
+payload records how often the scheduler rebalanced, and per-round steal
+deltas land on the ``--trace-rounds`` timeline (each transport resets
+the counter after reporting a round, so the coordinator sees deltas).
 
 Worker count: ``REPRO_SHARD_WORKERS`` when set; otherwise one worker per
 CPU core (capped by the number of runtimes), degrading to plain serial

@@ -7,7 +7,12 @@ not exact counts.
 
 import time
 
-from repro.obs import StackSampler, collapse_stacks, profile_collapsed
+from repro.obs import (
+    StackSampler,
+    collapse_stacks,
+    folded_lines,
+    profile_collapsed,
+)
 
 
 def _busy_leaf(deadline):
@@ -26,6 +31,30 @@ class TestCollapseStacks:
 
     def test_empty(self):
         assert collapse_stacks([]) == {}
+
+    def test_single_frame_stacks(self):
+        samples = [("main",), ("main",), ("idle",)]
+        folded = collapse_stacks(samples)
+        assert folded == {"main": 2, "idle": 1}
+        assert folded_lines(folded) == ["main 2", "idle 1"]
+
+
+class TestFoldedLines:
+    def test_empty_sample_set_folds_to_nothing(self):
+        assert folded_lines(collapse_stacks([])) == []
+
+    def test_order_is_count_then_stack_text(self):
+        folded = {"b;z": 3, "a;z": 3, "c": 9}
+        assert folded_lines(folded) == ["c 9", "a;z 3", "b;z 3"]
+
+    def test_identical_sample_multisets_fold_identically(self):
+        """Folded output depends on the sample multiset, never on the
+        order the sampler happened to capture stacks in."""
+        run_a = [("a", "b"), ("a",), ("a", "b"), ("c",)]
+        run_b = [("c",), ("a", "b"), ("a", "b"), ("a",)]
+        assert folded_lines(collapse_stacks(run_a)) == folded_lines(
+            collapse_stacks(run_b)
+        )
 
 
 class TestStackSampler:

@@ -105,3 +105,114 @@ class TestCliWiring:
     def test_unknown_experiment_exits_2(self, capsys):
         assert main(["trace", "fig99"]) == 2
         assert "fig99" in capsys.readouterr().err
+
+    def test_missing_out_parent_exits_2_before_simulating(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "nope" / "t.json"
+        assert main(["trace", "fig5_bandwidth_3g", "--out", str(out)]) == 2
+        err = capsys.readouterr().err
+        parent = str(tmp_path / "nope")
+        assert err == (
+            f"sais-repro: --out {str(out)!r}: parent directory "
+            f"{parent!r} does not exist\n"
+        )
+
+    def test_positional_inputs_without_diff_exit_2(self, capsys):
+        assert main(["trace", "fig5_bandwidth_3g", "a.json"]) == 2
+        assert "trace diff" in capsys.readouterr().err
+
+
+class TestTraceDiffCli:
+    @pytest.fixture(scope="class")
+    def ab_traces(self, tmp_path_factory):
+        """Record the Fig. 5 quick point under both policies once."""
+        root = tmp_path_factory.mktemp("ab")
+        paths = {}
+        for policy in ("irqbalance", "source_aware"):
+            out = root / f"{policy}.json"
+            code = main(
+                [
+                    "trace",
+                    "fig5_bandwidth_3g",
+                    "--policy",
+                    policy,
+                    "--out",
+                    str(out),
+                ]
+            )
+            assert code == 0
+            paths[policy] = str(out)
+        return paths
+
+    def test_diff_end_to_end_with_json(self, ab_traces, tmp_path, capsys):
+        out = tmp_path / "diff.json"
+        code = main(
+            [
+                "trace",
+                "diff",
+                ab_traces["irqbalance"],
+                ab_traces["source_aware"],
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "migration edges: A=" in text
+        assert "wrote" in text
+        payload = json.loads(out.read_text())
+        assert payload["migration_edges"]["b"] == 0
+        assert payload["migration_edges"]["a"] > 0
+        stages = {row["stage"]: row for row in payload["stages"]}
+        assert stages["migration"]["delta_s"] < 0.0
+
+    def test_diff_output_is_byte_identical(self, ab_traces, tmp_path):
+        first = tmp_path / "one.json"
+        second = tmp_path / "two.json"
+        for out in (first, second):
+            assert (
+                main(
+                    [
+                        "trace",
+                        "diff",
+                        ab_traces["irqbalance"],
+                        ab_traces["source_aware"],
+                        "--out",
+                        str(out),
+                    ]
+                )
+                == 0
+            )
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_diff_needs_exactly_two_inputs(self, ab_traces, capsys):
+        assert main(["trace", "diff", ab_traces["irqbalance"]]) == 2
+        assert "exactly two" in capsys.readouterr().err
+        assert (
+            main(
+                [
+                    "trace",
+                    "diff",
+                    ab_traces["irqbalance"],
+                    ab_traces["source_aware"],
+                    ab_traces["irqbalance"],
+                ]
+            )
+            == 2
+        )
+
+    def test_diff_missing_out_parent_exits_2(self, ab_traces, tmp_path, capsys):
+        out = tmp_path / "nope" / "diff.json"
+        code = main(
+            [
+                "trace",
+                "diff",
+                ab_traces["irqbalance"],
+                ab_traces["source_aware"],
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 2
+        assert "parent directory" in capsys.readouterr().err

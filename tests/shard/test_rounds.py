@@ -1,0 +1,165 @@
+"""Shard-round observability: round records, export, exact recompute.
+
+``--trace-rounds`` turns the coordinator's per-round accounting into a
+Perfetto timeline; the pin here is that replaying those records
+reproduces ``busy_s``/``critical_path_s``/``projected_wall_s`` *exactly*
+(float equality) — both from the live ``ShardOutcome.round_log`` and
+from the exported JSON — so the bench's headline projection is auditable
+rather than a single opaque scalar.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.cluster.simulation import Simulation
+from repro.config import ClusterConfig, NetworkConfig, WorkloadConfig
+from repro.obs.analysis import load_rounds, recompute_projection
+from repro.obs.export import validate_trace_file
+from repro.shard import (
+    ROUNDS_ENV,
+    SHARDS_ENV,
+    TRANSPORT_ENV,
+    run_sharded,
+)
+from repro.units import KiB
+
+
+def _small(**overrides) -> ClusterConfig:
+    defaults = dict(
+        n_servers=4,
+        network=NetworkConfig(mss=None),
+        workload=WorkloadConfig(
+            n_processes=2,
+            transfer_size=128 * KiB,
+            file_size=256 * KiB,
+            operation="read",
+        ),
+        policy="source_aware",
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestRoundLog:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(ROUNDS_ENV, raising=False)
+        monkeypatch.setenv(TRANSPORT_ENV, "inproc")
+        outcome = run_sharded(_small(), 2)
+        assert outcome.round_log == ()
+
+    def test_capture_matches_outcome_accounting(self, monkeypatch, tmp_path):
+        out = tmp_path / "rounds.json"
+        monkeypatch.setenv(ROUNDS_ENV, str(out))
+        monkeypatch.setenv(TRANSPORT_ENV, "inproc")
+        t0 = time.perf_counter()
+        outcome = run_sharded(_small(), 3, server_shards=2)
+        wall = time.perf_counter() - t0
+
+        assert len(outcome.round_log) == outcome.rounds
+        for record in outcome.round_log:
+            assert record.bound > record.prev_bound
+            sids = [w.sid for w in record.windows]
+            assert sids == sorted(sids)
+            assert record.round_max == (
+                max((w.busy_s for w in record.windows), default=0.0)
+            )
+        # Per-round deltas sum back to the run totals.
+        assert (
+            sum(r.steals for r in outcome.round_log) == outcome.steals
+        )
+        assert (
+            sum(r.skipped for r in outcome.round_log)
+            == outcome.windows_skipped
+        )
+        assert sum(
+            w.events for r in outcome.round_log for w in r.windows
+        ) == outcome.raw_events
+
+        # Exact recompute from the live records.
+        busy, critical, projected = recompute_projection(
+            outcome.round_log, 3, wall
+        )
+        assert busy == sum(outcome.busy_s)
+        assert critical == outcome.critical_path_s
+        assert projected == max(0.0, wall - busy + critical)
+
+        # The exported file validates and recomputes identically (JSON
+        # round-trips Python floats exactly).
+        assert validate_trace_file(str(out)) == []
+        records, n_shards = load_rounds(str(out))
+        assert n_shards == 3
+        busy2, critical2, _ = recompute_projection(records, n_shards, wall)
+        assert busy2 == busy
+        assert critical2 == critical
+        meta = json.loads(out.read_text())["sais"]
+        assert meta["shards"] == 3
+        assert meta["critical_path_s"] == outcome.critical_path_s
+
+
+class TestFanInBenchPair:
+    """Acceptance: round spans recompute ``projected_wall_s`` exactly on
+    the fan-in bench pair."""
+
+    @pytest.mark.slow
+    def test_projection_recomputed_from_round_spans(
+        self, monkeypatch, tmp_path
+    ):
+        from repro.bench.runner import run_entry
+        from repro.bench.suite import bench_entries
+
+        base = tmp_path / "rounds.json"
+        monkeypatch.setenv(ROUNDS_ENV, str(base))
+        monkeypatch.setenv(TRANSPORT_ENV, "inproc")
+        entries = {
+            e.name: e
+            for e in bench_entries("full")
+            if e.name in ("fanin_multiclient", "fanin_multiclient_shard5")
+        }
+        assert len(entries) == 2, "fan-in pair missing from the suite"
+
+        single, _ = run_entry(entries["fanin_multiclient"])
+        assert single.projected_wall_s == 0.0
+        assert not (tmp_path / "rounds.fanin_multiclient.json").exists()
+
+        sharded, _ = run_entry(entries["fanin_multiclient_shard5"])
+        path = tmp_path / "rounds.fanin_multiclient_shard5.json"
+        assert path.exists()
+        records, n_shards = load_rounds(str(path))
+        assert n_shards == 5
+        assert len(records) == sharded.rounds
+        busy, critical, projected = recompute_projection(
+            records, n_shards, sharded.wall_time_s
+        )
+        assert busy == sharded.busy_s
+        assert critical == sharded.critical_path_s
+        assert projected == sharded.projected_wall_s
+
+
+class TestBlockReasonNote:
+    """Satellite: a blocked --shards request names its reason on stderr."""
+
+    def test_blocked_run_prints_reason(self, monkeypatch, capsys):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        config = _small(trace=True)  # lifecycle tracer blocks sharding
+        Simulation(config).run()
+        err = capsys.readouterr().err
+        assert "--shards 2 requested" in err
+        assert "stays single-calendar" in err
+        assert "lifecycle tracer" in err
+
+    def test_eligible_run_stays_quiet(self, monkeypatch, capsys):
+        monkeypatch.setenv(SHARDS_ENV, "2")
+        monkeypatch.setenv(TRANSPORT_ENV, "inproc")
+        sim = Simulation(_small())
+        sim.run()
+        assert sim.shard_outcome is not None
+        assert capsys.readouterr().err == ""
+
+    def test_unsharded_run_stays_quiet(self, monkeypatch, capsys):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        Simulation(_small(trace=True)).run()
+        assert capsys.readouterr().err == ""

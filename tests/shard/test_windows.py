@@ -206,11 +206,12 @@ class TestBarrierEdgeCases:
         delivery; an empty calendar must advance quietly, not wedge."""
         runtime = ServerShardRuntime(ClusterConfig(), range(8))
         assert runtime.initial_peek() == INF
-        outbox, peek, done_at, stamps, busy = runtime.advance(1.0, [])
+        outbox, peek, done_at, stamps, busy, events = runtime.advance(1.0, [])
         assert outbox == []
         assert peek == INF
         assert done_at is None
         assert busy >= 0.0
+        assert events == 0
 
     def test_all_idle_and_nothing_in_flight_is_a_deadlock_error(self):
         plan = plan_shards(ClusterConfig(), 2)
