@@ -126,6 +126,20 @@ def _fanin_point(
     )
 
 
+def _scenario_point() -> ClusterConfig:
+    """One generator-drawn point, pinning scenario expansion in bench.
+
+    Any drift in the generator's draws changes this entry's config (and
+    thus its simulated work), so the committed trajectory doubles as a
+    byte-reproducibility canary for :mod:`repro.scenarios`.
+    """
+    from ..scenarios import BUILTIN_SPECS, generate_scenarios
+
+    return generate_scenarios(
+        BUILTIN_SPECS["heterogeneous"], 1, seed=3, scale="quick"
+    )[0].config
+
+
 def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
     """The pinned suite; ``scale`` is ``"quick"`` or ``"full"``."""
     entries = (
@@ -150,6 +164,11 @@ def bench_entries(scale: str = "quick") -> tuple[BenchEntry, ...]:
             config=_point(
                 1500, transfer=128 * KiB, file_size=256 * KiB, n_processes=2
             ),
+        ),
+        BenchEntry(
+            name="scenario_mixed",
+            title="generated scenario (heterogeneous spec, seed 3)",
+            config=_scenario_point(),
         ),
         BenchEntry(
             name="shard2_mtu1500_read",

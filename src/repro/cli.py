@@ -316,6 +316,65 @@ def _build_parser() -> argparse.ArgumentParser:
         help="for 'trace diff': rows in the moved-spans table (default: 10)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help=(
+            "run generated-scenario sweeps and print an aggregate "
+            "win-rate report bucketed by topology features (cookbook: "
+            "docs/SCENARIOS.md)"
+        ),
+    )
+    sweep.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="SWEEP_ID",
+        help=(
+            "sweep experiment ids (default: the pinned family, or "
+            "sweep_custom when --spec is given)"
+        ),
+    )
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help=(
+            "declarative scenario spec (JSON, or TOML on Python >= 3.11) "
+            "to sample via the sweep_custom experiment"
+        ),
+    )
+    sweep.add_argument(
+        "--samples",
+        type=positive_int,
+        default=None,
+        metavar="N",
+        help="scenarios to generate from --spec (default: 8)",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="generator seed for --spec (default: 1)",
+    )
+    sweep.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="quick",
+        help="run-length preset (default: quick)",
+    )
+    sweep.add_argument(
+        "--report",
+        default=None,
+        metavar="FILE",
+        help="also write the aggregate report as deterministic JSON here",
+    )
+    sweep.add_argument(
+        "--json",
+        action="store_true",
+        help="print the aggregate report as JSON instead of ASCII tables",
+    )
+    add_runner_options(sweep)
+
     def add_endpoint_options(command: argparse.ArgumentParser) -> None:
         from .serve.daemon import DEFAULT_HOST, DEFAULT_PORT
 
@@ -562,6 +621,85 @@ def _report_summary(summary: "t.Any") -> None:
     )
 
 
+def _run_sweep(args: argparse.Namespace) -> int:
+    """``sais-repro sweep``: run sweep experiments, print the aggregate.
+
+    With ``--spec`` the file is loaded, validated, and installed as the
+    ambient :class:`~repro.scenarios.SweepRequest` backing the
+    ``sweep_custom`` experiment; the pinned family ids need no ambient
+    state.  Everything downstream is the ordinary runner path, so
+    ``--jobs``/``--shards``/``--cache-dir``/``--fault-plan`` compose
+    like they do for ``run``.
+    """
+    from .experiments.sweep import ALL_SWEEP_IDS, CUSTOM_SWEEP_ID, SWEEP_FAMILY
+    from .scenarios import (
+        SweepRequest,
+        build_report,
+        load_spec,
+        set_ambient_sweep,
+    )
+
+    try:
+        if args.spec is not None:
+            request = SweepRequest(
+                spec=load_spec(args.spec),
+                samples=args.samples if args.samples is not None else 8,
+                seed=args.seed if args.seed is not None else 1,
+            )
+            set_ambient_sweep(request)
+        elif args.samples is not None or args.seed is not None:
+            raise ConfigError("--samples/--seed require --spec")
+    except ConfigError as exc:
+        print(f"sais-repro: {exc}", file=sys.stderr)
+        return 2
+
+    ids = list(args.experiments)
+    if not ids:
+        ids = (
+            [CUSTOM_SWEEP_ID] if args.spec is not None else list(SWEEP_FAMILY)
+        )
+    unknown = [i for i in ids if i not in ALL_SWEEP_IDS]
+    if unknown:
+        print(
+            f"unknown sweep experiment(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        print(f"available: {', '.join(ALL_SWEEP_IDS)}", file=sys.stderr)
+        return 2
+
+    code = _install_fault_plan(args)
+    if code:
+        return code
+    _install_shards(args)
+    summary = _make_runner(args).run_many(ids, scale=args.scale)
+    _report_summary(summary)
+    for report in summary.failed:
+        first_line = (report.error or "unknown failure").splitlines()[0]
+        print(
+            f"sais-repro: {report.exp_id} FAILED: {first_line}",
+            file=sys.stderr,
+        )
+    if summary.failed:
+        return 1
+    aggregate = build_report(summary.results)
+    if args.report is not None:
+        try:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(aggregate.to_json())
+        except OSError as exc:
+            print(
+                f"sais-repro: cannot write {args.report}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"sais-repro: wrote {args.report}", file=sys.stderr)
+    if args.json:
+        print(aggregate.to_json(), end="")
+    else:
+        print(aggregate.render())
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from .serve import RunControlDaemon, ServeConfig
 
@@ -703,6 +841,8 @@ def main(argv: t.Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
 
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "serve":
         return _run_serve(args)
     if args.command == "submit":

@@ -13,6 +13,12 @@ Per-byte cost rates in :class:`CostModel` are where the reproduction is
 *calibrated* rather than measured: they are chosen to be physically plausible
 for that hardware generation and to land the emergent headline numbers in
 the paper's bands (see ``DESIGN.md`` §5 and ``tests/cluster/test_calibration``).
+
+Configs are built three ways: by hand (tests, ad-hoc scripts), by the
+experiment grids (:mod:`repro.experiments.grids`), or expanded from a
+declarative scenario spec by :mod:`repro.scenarios` — the latter draws
+every field below from seeded distributions, so anything valid here is
+reachable from a spec.
 """
 
 from __future__ import annotations
@@ -366,6 +372,18 @@ class ClusterConfig:
     def with_policy(self, policy: str) -> "ClusterConfig":
         """A copy of this config under a different interrupt policy."""
         return dataclasses.replace(self, policy=policy)
+
+    def with_seed(self, seed: int) -> "ClusterConfig":
+        """A copy of this config under a different simulation seed.
+
+        The scenario generator (:mod:`repro.scenarios`) derives each
+        generated config's seed from its own ``(spec, seed, index)``
+        hash; this helper re-seeds one config for ad-hoc replication
+        runs without touching any topology field.
+        """
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise ConfigError(f"seed must be an int, got {seed!r}")
+        return dataclasses.replace(self, seed=seed)
 
     def replace(self, **changes: t.Any) -> "ClusterConfig":
         """`dataclasses.replace` convenience passthrough."""

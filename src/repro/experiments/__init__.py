@@ -43,6 +43,18 @@ against each other (see :mod:`repro.experiments.steering`):
 ``steering_comparison``          all registered policies, Fig. 5 point
 ``steering_reorder_pathology``   Flow Director ATR reordering vs RSS
 ==============================  ==========================================
+
+The sweep family samples *generated* scenarios from declarative specs
+(:mod:`repro.scenarios`, cookbook in ``docs/SCENARIOS.md``) and scores
+each with a baseline-vs-SAIs A/B (see :mod:`repro.experiments.sweep`
+and the ``sais-repro sweep`` subcommand):
+
+==============================  ==========================================
+``sweep_homogeneous``            homogeneous paper-testbed clusters
+``sweep_heterogeneous``          heterogeneous client classes, mixed links
+``sweep_leafspine``              oversubscribed leaf–spine fabrics
+``sweep_custom``                 the ambient ``sweep --spec`` request
+==============================  ==========================================
 """
 
 from .base import (
@@ -66,6 +78,7 @@ from . import (  # noqa: E402,F401  (registration side effects)
     resilience,
     sec3_model,
     steering,
+    sweep,
 )
 
 __all__ = [

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["RngFactory"]
+__all__ = ["RngFactory", "hash_unit", "stable_hash"]
 
 
 class RngFactory:
@@ -56,6 +56,17 @@ def _stable_hash(name: str) -> int:
     for byte in name.encode("utf-8"):
         acc = ((acc ^ byte) * 16777619) & 0xFFFFFFFF
     return acc
+
+
+def stable_hash(name: str) -> int:
+    """Public face of :func:`_stable_hash` for other subsystems.
+
+    The scenario generator keys its per-knob :func:`hash_unit` draws by
+    ``stable_hash(knob_name)`` so every draw is a pure function of
+    ``(seed, scenario index, knob)`` — independent of sampling order and
+    of the process doing the sampling.
+    """
+    return _stable_hash(name)
 
 
 def hash_unit(*keys: int) -> float:

@@ -18,6 +18,14 @@ scales ``sais-repro run all`` with cores:
   rebuilt, the affected points retried once, and only a point that
   keeps killing workers becomes a per-point error report.
 
+Generated-scenario sweeps (:mod:`repro.scenarios`, the ``sweep``
+experiment family) add no machinery here: a sweep is just another grid
+experiment whose points are A/B comparisons over generated configs, so
+planning, cross-experiment dedup, ``--jobs`` fan-out, ``--shards``
+partitioning and the content-addressed cache all apply unchanged — the
+generator's seed covers which scenarios exist, the config's own seed
+covers the simulation (DESIGN.md §11).
+
 Quickstart::
 
     from repro.runner import ExperimentRunner

@@ -1,0 +1,252 @@
+"""Expanding a :class:`~repro.scenarios.spec.ScenarioSpec` into configs.
+
+The contract is byte-reproducibility: ``generate_scenarios(spec, n,
+seed, scale)`` returns the same :class:`~repro.config.ClusterConfig`
+instances — field for field, bit for bit — in any process, under any
+``--jobs`` fan-out, on any platform.  That follows from how draws are
+made: every knob of scenario *i* is a pure function of ``(seed, i,
+knob name)`` through :func:`repro.rng.hash_unit`, with no sequential
+stream state to perturb (the same order-independence idiom the fault
+injector uses for per-packet decisions).  Adding a knob therefore never
+shifts the draws of existing knobs, and scenario *i* is the same whether
+you generate 1 or 1000.
+
+``scale`` only dials the per-process file size (run length), exactly
+like the figure experiments: bandwidth is a steady-state rate, so quick
+sweeps keep the topology distribution while shrinking wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as t
+
+from ..config import (
+    ClientConfig,
+    ClusterConfig,
+    NetworkConfig,
+    ServerConfig,
+    WorkloadConfig,
+)
+from ..errors import ConfigError
+from ..rng import hash_unit, stable_hash
+from ..units import Gbit, MiB, USEC
+from .spec import ScenarioSpec
+
+__all__ = [
+    "Scenario",
+    "TopologyFeatures",
+    "generate_scenarios",
+    "scenario_file_size",
+]
+
+#: Per-process bytes by scale.  Smaller than the figure experiments'
+#: presets — a sweep runs dozens of scenarios, so each one is kept light.
+_FILE_SIZE_BASE = {"quick": 1 * MiB, "default": 8 * MiB, "full": 32 * MiB}
+
+
+def scenario_file_size(scale: str, transfer_size: int) -> int:
+    """Per-process bytes for a generated scenario at ``scale``."""
+    # Imported lazily: repro.experiments pulls in the sweep family,
+    # which imports this module (registration-time cycle).
+    from ..experiments.base import resolve_scale
+
+    base = _FILE_SIZE_BASE[resolve_scale(scale)]
+    return max(base, 2 * transfer_size)
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyFeatures:
+    """The topology coordinates a scenario is bucketed by in reports.
+
+    Derived purely from the drawn knobs, so features are as reproducible
+    as the configs themselves and travel with the point through the
+    runner (win-rate tables in :mod:`repro.scenarios.report` group on
+    them).
+    """
+
+    #: Client class name the scenario drew.
+    klass: str
+    n_clients: int
+    n_servers: int
+    #: Fan-in depth: servers per client node (how many sources converge
+    #: on one interrupt-taking machine).
+    fan_in: float
+    #: Switch tiers (1 = single switch, 2 = leaf–spine, ...).
+    tiers: int
+    #: Drawn leaf→spine oversubscription ratio.
+    oversubscription: float
+    #: Link heterogeneity: aggregate client NIC over one server NIC.
+    link_ratio: float
+    #: ``"strip"`` for coalesced trains, else the MSS in bytes.
+    mss_label: str
+    operation: str
+    access_pattern: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One generated point: a concrete config plus its feature vector."""
+
+    index: int
+    config: ClusterConfig
+    features: TopologyFeatures
+    #: The A/B pair the sweep scores this scenario on (from the spec).
+    baseline: str
+    treatment: str
+
+
+def _u(seed: int, index: int, knob: str) -> float:
+    return hash_unit(seed, index, stable_hash(knob))
+
+
+def _pick_class(spec: ScenarioSpec, u: float):
+    total = sum(klass.weight for klass in spec.classes)
+    acc = 0.0
+    for klass in spec.classes:
+        acc += klass.weight / total
+        if u < acc:
+            return klass
+    return spec.classes[-1]
+
+
+def _client_nic(gigabits: float) -> tuple[int, float]:
+    """Model integral speeds as bonded 1-Gigabit ports, else one port."""
+    if float(gigabits).is_integer() and 1 <= gigabits <= 8:
+        return int(gigabits), 1.0 * Gbit
+    return 1, float(gigabits) * Gbit
+
+
+def _one_scenario(
+    spec: ScenarioSpec, index: int, seed: int, scale: str
+) -> Scenario:
+    klass = _pick_class(spec, _u(seed, index, "client.class"))
+    n_cores = klass.cores.sample(_u(seed, index, "client.cores"))
+    client_gbit = float(
+        klass.nic_gigabits.sample(_u(seed, index, "client.nic_gigabits"))
+    )
+    nic_ports, port_bw = _client_nic(client_gbit)
+    n_clients = int(spec.n_clients.sample(_u(seed, index, "clients.count")))
+    n_servers = int(spec.n_servers.sample(_u(seed, index, "servers.count")))
+    server_gbit = float(
+        spec.server_gigabits.sample(_u(seed, index, "servers.nic_gigabits"))
+    )
+    disk_mib = float(spec.disk_mib.sample(_u(seed, index, "servers.disk_mib")))
+    cache_hit = float(spec.cache_hit.sample(_u(seed, index, "servers.cache_hit")))
+    tiers = int(spec.tiers.sample(_u(seed, index, "network.tiers")))
+    oversub = float(
+        spec.oversubscription.sample(_u(seed, index, "network.oversubscription"))
+    )
+    latency_us = float(
+        spec.latency_us.sample(_u(seed, index, "network.latency_us"))
+    )
+    mss = spec.mss.sample(_u(seed, index, "network.mss"))
+    n_processes = int(
+        spec.n_processes.sample(_u(seed, index, "workload.processes"))
+    )
+    transfer = int(
+        spec.transfer_size.sample(_u(seed, index, "workload.transfer_size"))
+    )
+    operation = (
+        "write"
+        if _u(seed, index, "workload.operation") < spec.write_fraction
+        else "read"
+    )
+    access = (
+        "random"
+        if _u(seed, index, "workload.access") < spec.random_fraction
+        else "sequential"
+    )
+
+    client = ClientConfig(
+        n_cores=n_cores,
+        n_sockets=klass.sockets,
+        nic_ports=nic_ports,
+        nic_port_bandwidth=port_bw,
+        napi=klass.napi,
+    )
+    server = ServerConfig(
+        disk_rate=disk_mib * MiB,
+        cache_hit_ratio=round(cache_hit, 4),
+        nic_bandwidth=server_gbit * Gbit,
+    )
+    # The fabric model: each extra tier adds two switch hops to the
+    # one-way path (client leaf -> spine -> server leaf for tiers=2),
+    # and the shared backplane is the aggregate edge bandwidth divided
+    # by the oversubscription ratio, floored at the fastest single link
+    # so one flow is switch-limited only by its own NIC.
+    client_agg_bw = client.nic_bandwidth
+    edge_bw = max(n_servers * server_gbit * Gbit, n_clients * client_agg_bw)
+    switch_bw = max(edge_bw / oversub, max(server_gbit * Gbit, client_agg_bw))
+    network = NetworkConfig(
+        latency=latency_us * USEC * (2 * tiers - 1),
+        switch_bandwidth=switch_bw,
+        mss=mss,
+    )
+    workload = WorkloadConfig(
+        n_processes=n_processes,
+        transfer_size=transfer,
+        file_size=scenario_file_size(scale, transfer),
+        operation=operation,
+        access_pattern=access,
+    )
+    try:
+        config = ClusterConfig(
+            client=client,
+            server=server,
+            network=network,
+            workload=workload,
+            n_servers=n_servers,
+            n_clients=n_clients,
+            policy=spec.baseline,
+            seed=1 + int(_u(seed, index, "seed") * 2**31),
+        )
+    except ConfigError as exc:  # pragma: no cover - spec validation gates
+        raise ConfigError(
+            f"spec {spec.name!r} scenario {index} draws an invalid "
+            f"config: {exc}"
+        ) from exc
+    features = TopologyFeatures(
+        klass=klass.name,
+        n_clients=n_clients,
+        n_servers=n_servers,
+        fan_in=round(n_servers / n_clients, 3),
+        tiers=tiers,
+        oversubscription=round(oversub, 3),
+        link_ratio=round(client_agg_bw / (server_gbit * Gbit), 3),
+        mss_label="strip" if mss is None else str(int(mss)),
+        operation=operation,
+        access_pattern=access,
+    )
+    return Scenario(
+        index=index,
+        config=config,
+        features=features,
+        baseline=spec.baseline,
+        treatment=spec.treatment,
+    )
+
+
+def generate_scenarios(
+    spec: ScenarioSpec,
+    samples: int,
+    seed: int = 1,
+    scale: str = "default",
+) -> tuple[Scenario, ...]:
+    """Expand ``spec`` into ``samples`` concrete scenarios.
+
+    Byte-reproducible from ``(spec, seed)``; ``scale`` only dials run
+    length (:func:`scenario_file_size`).  Scenario ``i`` is independent
+    of ``samples``, so growing a sweep extends it without re-drawing
+    what was already generated (and the content-addressed result cache
+    keeps the old points' results warm — DESIGN.md §11).
+    """
+    from ..experiments.base import resolve_scale
+
+    if not isinstance(samples, int) or samples < 1:
+        raise ConfigError(f"samples must be a positive int, got {samples!r}")
+    scale = resolve_scale(scale)
+    return tuple(
+        _one_scenario(spec, index, int(seed), scale)
+        for index in range(samples)
+    )

@@ -31,6 +31,9 @@ REPRESENTATIVE = (
     # Exercises every registered policy (including the NIC-steering
     # schemes) plus the seeded-migration reordering pathology.
     "steering_reorder_pathology",
+    # Exercises the scenario generator's (spec, seed) -> config pipeline
+    # end to end under every leg (in-process, subprocess, --jobs pool).
+    "sweep_heterogeneous",
 )
 
 

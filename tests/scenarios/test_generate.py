@@ -1,0 +1,129 @@
+"""Generator contract: byte-reproducibility, constraints, features."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.net.ip_options import MAX_ENCODABLE_CORES
+from repro.runner.cache import config_digest
+from repro.scenarios import (
+    BUILTIN_SPECS,
+    generate_scenarios,
+    scenario_file_size,
+)
+from repro.units import MiB
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SPECS))
+    def test_same_spec_and_seed_regenerate_identically(self, name):
+        spec = BUILTIN_SPECS[name]
+        first = generate_scenarios(spec, 8, seed=7, scale="quick")
+        second = generate_scenarios(spec, 8, seed=7, scale="quick")
+        assert first == second
+
+    def test_prefix_stability(self):
+        """Scenario i does not depend on how many scenarios are asked for."""
+        spec = BUILTIN_SPECS["heterogeneous"]
+        few = generate_scenarios(spec, 3, seed=1, scale="quick")
+        many = generate_scenarios(spec, 12, seed=1, scale="quick")
+        assert many[:3] == few
+
+    def test_different_seeds_differ(self):
+        spec = BUILTIN_SPECS["heterogeneous"]
+        a = generate_scenarios(spec, 8, seed=1, scale="quick")
+        b = generate_scenarios(spec, 8, seed=2, scale="quick")
+        assert a != b
+
+    def test_fresh_subprocess_reproduces_config_digests(self):
+        """Byte-reproducibility across processes (no PYTHONHASHSEED leak)."""
+        spec = BUILTIN_SPECS["leafspine"]
+        local = [
+            config_digest(s.config)
+            for s in generate_scenarios(spec, 4, seed=9, scale="quick")
+        ]
+        script = (
+            "from repro.scenarios import BUILTIN_SPECS, generate_scenarios\n"
+            "from repro.runner.cache import config_digest\n"
+            "for s in generate_scenarios(BUILTIN_SPECS['leafspine'], 4, "
+            "seed=9, scale='quick'):\n"
+            "    print(config_digest(s.config))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.split() == local
+
+
+class TestConstraints:
+    @pytest.mark.parametrize("name", sorted(BUILTIN_SPECS))
+    def test_every_drawn_config_is_valid(self, name):
+        """ClusterConfig validation never fires on generated points."""
+        for scenario in generate_scenarios(
+            BUILTIN_SPECS[name], 16, seed=3, scale="quick"
+        ):
+            config = scenario.config
+            assert 1 <= config.client.n_cores <= MAX_ENCODABLE_CORES
+            assert config.client.n_cores % config.client.n_sockets == 0
+            assert config.workload.file_size >= config.workload.transfer_size
+            assert config.network.switch_bandwidth >= config.server.nic_bandwidth
+
+    def test_features_track_their_config(self):
+        for scenario in generate_scenarios(
+            BUILTIN_SPECS["leafspine"], 8, seed=1, scale="quick"
+        ):
+            f = scenario.features
+            assert f.n_servers == scenario.config.n_servers
+            assert f.n_clients == scenario.config.n_clients
+            assert f.fan_in == round(f.n_servers / f.n_clients, 3)
+            assert f.tiers in (2, 3)
+            assert f.operation == scenario.config.workload.operation
+
+    def test_oversubscription_sizes_the_backplane(self):
+        """switch = max(edge/ratio, fastest link), and some scenarios
+        genuinely end up fabric-constrained (switch < edge sum)."""
+        scenarios = generate_scenarios(
+            BUILTIN_SPECS["leafspine"], 16, seed=2, scale="quick"
+        )
+        shrunk = 0
+        for s in scenarios:
+            edge = max(
+                s.config.n_servers * s.config.server.nic_bandwidth,
+                s.config.n_clients * s.config.client.nic_bandwidth,
+            )
+            fastest = max(
+                s.config.server.nic_bandwidth, s.config.client.nic_bandwidth
+            )
+            expected = max(edge / s.features.oversubscription, fastest)
+            assert s.config.network.switch_bandwidth == expected
+            shrunk += s.config.network.switch_bandwidth < edge
+        assert shrunk, "spec should draw some fabric-constrained scenarios"
+
+    def test_bad_samples_raise(self):
+        spec = BUILTIN_SPECS["homogeneous"]
+        with pytest.raises(ConfigError):
+            generate_scenarios(spec, 0)
+        with pytest.raises(ConfigError):
+            generate_scenarios(spec, "many")
+
+
+class TestFileSize:
+    def test_scale_dials_run_length_only(self):
+        quick = generate_scenarios(BUILTIN_SPECS["homogeneous"], 4, 1, "quick")
+        full = generate_scenarios(BUILTIN_SPECS["homogeneous"], 4, 1, "full")
+        for q, f in zip(quick, full):
+            assert q.features == f.features
+            assert q.config.workload.file_size < f.config.workload.file_size
+
+    def test_file_size_covers_the_transfer(self):
+        assert scenario_file_size("quick", 4 * MiB) == 8 * MiB
+        assert scenario_file_size("quick", 128 * 1024) == 1 * MiB
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            scenario_file_size("enormous", 1)

@@ -1,0 +1,150 @@
+"""Aggregate sweep report: folding, bucketing, deterministic JSON."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+from repro.scenarios import build_report
+from repro.scenarios.report import SWEEP_HEADERS
+
+
+def make_result(exp_id, rows):
+    return ExperimentResult(
+        exp_id=exp_id,
+        title=f"fake sweep {exp_id}",
+        headers=SWEEP_HEADERS,
+        rows=tuple(rows),
+        paper={},
+        measured={},
+        notes=(),
+    )
+
+
+def row(
+    index,
+    *,
+    fan_in=8.0,
+    tiers=1,
+    oversub=1.0,
+    link_ratio=1.0,
+    mss="strip",
+    op="read",
+    delta=1.0,
+):
+    return (
+        index,
+        "klass",
+        1,
+        8,
+        fan_in,
+        tiers,
+        oversub,
+        link_ratio,
+        mss,
+        "512 KiB",
+        op,
+        100.0,
+        100.0 + delta,
+        delta,
+    )
+
+
+class TestFold:
+    def test_headline_counts_wins(self):
+        report = build_report(
+            [make_result("a", [row(0, delta=2.0), row(1, delta=-1.0)])]
+        )
+        assert report.n_scenarios == 2
+        assert report.wins == 1
+        assert report.win_rate == 0.5
+        assert report.mean_delta_pct == 0.5
+        assert report.min_delta_pct == -1.0
+        assert report.max_delta_pct == 2.0
+
+    def test_multiple_results_fold_together(self):
+        report = build_report(
+            [
+                make_result("a", [row(0, delta=2.0)]),
+                make_result("b", [row(0, delta=4.0), row(1, delta=6.0)]),
+            ]
+        )
+        assert report.n_scenarios == 3
+        assert [e[0] for e in report.experiments] == ["a", "b"]
+        assert report.experiments[1][1] == 2
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigError):
+            build_report([])
+
+    def test_non_sweep_result_rejected(self):
+        alien = ExperimentResult(
+            exp_id="fig5",
+            title="not a sweep",
+            headers=("servers", "bandwidth"),
+            rows=((8, 100.0),),
+            paper={},
+            measured={},
+            notes=(),
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            build_report([alien])
+        assert "fig5" in str(excinfo.value)
+
+
+class TestBuckets:
+    def test_feature_bucketing(self):
+        report = build_report(
+            [
+                make_result(
+                    "a",
+                    [
+                        row(0, fan_in=1.5, oversub=1.0, delta=1.0),
+                        row(1, fan_in=4.0, oversub=2.0, delta=-1.0),
+                        row(2, fan_in=16.0, oversub=8.0, delta=1.0),
+                    ],
+                )
+            ]
+        )
+        buckets = dict(report.buckets)
+        fan_labels = {s.label for s in buckets["fan_in"]}
+        assert fan_labels == {"fan-in < 2", "fan-in 2-8", "fan-in > 8"}
+        over_labels = {s.label for s in buckets["oversubscription"]}
+        assert over_labels == {"1:1", "<= 2:1", "> 4:1"}
+
+    def test_mss_bucket_labels(self):
+        report = build_report(
+            [make_result("a", [row(0, mss="strip"), row(1, mss="8960")])]
+        )
+        labels = {s.label for s in dict(report.buckets)["mss"]}
+        assert labels == {"strip-coalesced", "mss 8960"}
+
+
+class TestSerialization:
+    def make(self):
+        return build_report(
+            [make_result("a", [row(0, delta=2.0), row(1, delta=-1.0)])]
+        )
+
+    def test_json_is_deterministic(self):
+        assert self.make().to_json() == self.make().to_json()
+
+    def test_json_parses_back(self):
+        payload = json.loads(self.make().to_json())
+        assert payload["n_scenarios"] == 2
+        assert set(payload["buckets"]) == {
+            "fan_in",
+            "tiers",
+            "oversubscription",
+            "link_ratio",
+            "operation",
+            "mss",
+        }
+        assert payload["scenarios"][0]["exp_id"] == "a"
+
+    def test_render_mentions_the_headline(self):
+        text = self.make().render()
+        assert "2 scenario(s)" in text
+        assert "win rate" in text
+        assert "win rate by fan in" in text
